@@ -1,0 +1,246 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, running the same harnesses as
+// cmd/lass-bench in quick mode and reporting the headline metric), plus
+// micro-benchmarks of the hot control-plane paths the paper's Fig 5
+// scalability argument rests on.
+//
+// Run them all:
+//
+//	go test -bench=. -benchmem
+package lass
+
+import (
+	"testing"
+	"time"
+
+	"lass/internal/controller"
+	"lass/internal/dispatch"
+	"lass/internal/experiments"
+	"lass/internal/fairshare"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+	"lass/internal/sim"
+	"lass/internal/xrand"
+
+	icluster "lass/internal/cluster"
+)
+
+// runExperiment executes one experiment harness per iteration; most take a
+// few seconds, so the default -benchtime runs them once.
+func runExperiment(b *testing.B, id string) *experiments.Table {
+	b.Helper()
+	var tab *experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = experiments.Run(id, experiments.Options{Seed: 42, Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func BenchmarkTable1FunctionCatalog(b *testing.B) {
+	tab := runExperiment(b, "table1")
+	b.ReportMetric(float64(len(tab.Rows)), "functions")
+}
+
+func BenchmarkFig3ModelValidationHomogeneous(b *testing.B) {
+	tab := runExperiment(b, "fig3")
+	met := 0
+	for _, row := range tab.Rows {
+		if row[5] == "true" {
+			met++
+		}
+	}
+	b.ReportMetric(float64(met)/float64(len(tab.Rows)), "slo-points-met-frac")
+}
+
+func BenchmarkFig4ModelValidationHeterogeneous(b *testing.B) {
+	tab := runExperiment(b, "fig4")
+	met := 0
+	for _, row := range tab.Rows {
+		if row[3] == "true" {
+			met++
+		}
+	}
+	b.ReportMetric(float64(met)/float64(len(tab.Rows)), "slo-points-met-frac")
+}
+
+func BenchmarkFig5SolverScalability(b *testing.B) {
+	runExperiment(b, "fig5")
+}
+
+func BenchmarkFig6AutoScaling(b *testing.B) {
+	runExperiment(b, "fig6")
+}
+
+func BenchmarkFig7DeflationServiceTime(b *testing.B) {
+	runExperiment(b, "fig7")
+}
+
+func BenchmarkFig8ReclamationPolicies(b *testing.B) {
+	runExperiment(b, "fig8")
+}
+
+func BenchmarkFig9AzureTrace(b *testing.B) {
+	runExperiment(b, "fig9")
+}
+
+func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
+	runExperiment(b, "openwhisk")
+}
+
+func BenchmarkAblationEstimator(b *testing.B) {
+	runExperiment(b, "ablation-estimator")
+}
+
+func BenchmarkAblationPlacement(b *testing.B) {
+	runExperiment(b, "ablation-placement")
+}
+
+func BenchmarkAblationHetModel(b *testing.B) {
+	runExperiment(b, "ablation-hetmodel")
+}
+
+func BenchmarkAblationGGC(b *testing.B) {
+	runExperiment(b, "ablation-ggc")
+}
+
+// --- micro-benchmarks of the control-plane hot paths ---
+
+// BenchmarkSolverHomogeneous measures one Algorithm 1 sizing (the per
+// -epoch, per-function cost in the common homogeneous case).
+func BenchmarkSolverHomogeneous(b *testing.B) {
+	slo := DefaultSLO()
+	for i := 0; i < b.N; i++ {
+		if _, err := queuing.MinimalContainers(45, 10, slo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverHeterogeneous1000 measures resizing a 1000-container
+// heterogeneous pool after a +10% spike — the paper's Fig 5 headline
+// (sub-100ms reaction at 1000 containers).
+func BenchmarkSolverHeterogeneous1000(b *testing.B) {
+	slo := DefaultSLO()
+	rng := xrand.New(9)
+	rates := make([]float64, 1000)
+	var total float64
+	for i := range rates {
+		rates[i] = 10.0
+		if i%3 == 0 {
+			rates[i] = rng.Uniform(7, 9.5)
+		}
+		total += rates[i]
+	}
+	lambda := 0.8 * total * 1.10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := queuing.AdditionalHetContainers(lambda, rates, 10, slo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMMCProbWait measures one steady-state evaluation.
+func BenchmarkMMCProbWait(b *testing.B) {
+	m := queuing.MMC{Lambda: 900, Mu: 10, C: 120}
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ProbWaitLE(0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFairShareAdjust measures one overload adjustment across 100
+// functions.
+func BenchmarkFairShareAdjust(b *testing.B) {
+	rng := xrand.New(3)
+	demands := make([]fairshare.Demand, 100)
+	for i := range demands {
+		demands[i] = fairshare.Demand{
+			ID:      string(rune('a'+i%26)) + string(rune('a'+i/26)),
+			Weight:  float64(rng.Intn(4) + 1),
+			Desired: int64(rng.Intn(4000)),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fairshare.AdjustCapped(demands, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimatorRecordAndRate measures the per-arrival estimator cost
+// plus a rate read every 64 arrivals.
+func BenchmarkEstimatorRecordAndRate(b *testing.B) {
+	d, err := controller.NewDualWindow(controller.DefaultDualWindow())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * time.Millisecond
+		d.RecordArrival(now)
+		if i%64 == 0 {
+			d.Rate(now)
+		}
+	}
+}
+
+// BenchmarkDispatchRequest measures the full data-path cost of one request
+// (arrive → WRR select → service event → completion).
+func BenchmarkDispatchRequest(b *testing.B) {
+	engine := sim.NewEngine()
+	cl, err := icluster.New(icluster.Config{Nodes: 4, CPUPerNode: 4000, MemPerNode: 16384})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := functions.MicroBenchmark(time.Millisecond)
+	q, err := dispatch.NewQueue(engine, spec, 100*time.Millisecond, xrand.New(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		c, err := cl.Place(spec.Name, spec.CPUMillis, spec.MemoryMiB)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.MarkRunning(c); err != nil {
+			b.Fatal(err)
+		}
+		if err := q.AddContainer(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Arrive()
+		engine.Run() // drain the completion event(s)
+	}
+}
+
+// BenchmarkSimulationMinute measures simulating one minute of a 30 req/s
+// platform end to end (workload, dispatch, controller epochs, metrics).
+func BenchmarkSimulationMinute(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := MicroBenchmark(100 * time.Millisecond)
+		wl, err := StaticWorkload(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := NewSimulation(SimulationConfig{
+			Cluster:   PaperCluster(),
+			Seed:      uint64(i),
+			Functions: []FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 2}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

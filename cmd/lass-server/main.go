@@ -1,0 +1,117 @@
+// Command lass-server runs the wall-clock LaSS runtime behind an HTTP
+// front end: a miniature latency-aware FaaS platform. Functions from the
+// paper's catalog are registered with CPU-emulating handlers; the LaSS
+// controller autoscales their worker pools as traffic arrives.
+//
+// Endpoints:
+//
+//	POST /invoke/{function}   — run one invocation (body = payload)
+//	GET  /stats/{function}    — controller estimate, pool size, P95 wait
+//	GET  /stats               — all functions + cluster utilization
+//
+// Example:
+//
+//	lass-server -listen :8080 &
+//	hey -z 30s http://localhost:8080/invoke/geofence
+//	curl http://localhost:8080/stats/geofence
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+	"lass/internal/realtime"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", ":8080", "HTTP listen address")
+		nodes  = flag.Int("nodes", 3, "emulated cluster nodes")
+		cpu    = flag.Int64("cpu", 4000, "millicores per node")
+		epoch  = flag.Duration("epoch", 2*time.Second, "controller evaluation interval")
+	)
+	flag.Parse()
+
+	p, err := realtime.New(realtime.Config{
+		Cluster: cluster.Config{Nodes: *nodes, CPUPerNode: *cpu, MemPerNode: 16384, Policy: cluster.WorstFit},
+		Controller: controller.Config{
+			EvalInterval:  *epoch,
+			MinContainers: 1,
+			Windows: controller.DualWindowConfig{
+				Short: 5 * time.Second, Long: 60 * time.Second, BurstFactor: 2,
+			},
+		},
+	})
+	if err != nil {
+		log.Fatalf("lass-server: %v", err)
+	}
+	defer p.Stop()
+
+	// Register every catalog function with a handler that emulates its
+	// service time, scaled by the container's (possibly deflated) CPU.
+	var names []string
+	for _, spec := range functions.Catalog() {
+		spec := spec
+		handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+			frac := realtime.CPUFraction(ctx)
+			d := time.Duration(float64(spec.MeanServiceTime) * spec.ServiceTimeMultiplier(frac))
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return []byte(fmt.Sprintf("%s done in %v (cpu %.0f%%)\n", spec.Name, d, frac*100)), nil
+		}
+		slo := queuing.SLO{Deadline: 250 * time.Millisecond, Percentile: 0.95, WaitingOnly: true}
+		if err := p.Register(spec, handler, slo); err != nil {
+			log.Fatalf("lass-server: register %s: %v", spec.Name, err)
+		}
+		if err := p.Provision(spec.Name, 1); err != nil {
+			log.Printf("lass-server: prewarm %s: %v", spec.Name, err)
+		}
+		names = append(names, spec.Name)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /invoke/", func(w http.ResponseWriter, r *http.Request) {
+		fn := strings.TrimPrefix(r.URL.Path, "/invoke/")
+		buf := make([]byte, 0)
+		out, err := p.Invoke(r.Context(), fn, buf)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Write(out)
+	})
+	mux.HandleFunc("GET /stats/", func(w http.ResponseWriter, r *http.Request) {
+		fn := strings.TrimPrefix(r.URL.Path, "/stats/")
+		st, err := p.Stats(fn)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(st)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		out := map[string]any{"utilization": p.Utilization()}
+		for _, fn := range names {
+			if st, err := p.Stats(fn); err == nil {
+				out[fn] = st
+			}
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+
+	log.Printf("lass-server: %d functions on %s (cluster: %d nodes x %d mC)", len(names), *listen, *nodes, *cpu)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}

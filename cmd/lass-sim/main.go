@@ -1,0 +1,128 @@
+// Command lass-sim runs an ad-hoc LaSS simulation from flags: one or more
+// catalog functions under static or trace-driven Poisson load on a
+// configurable cluster, printing per-function latency and allocation
+// summaries.
+//
+// Usage:
+//
+//	lass-sim -functions squeezenet:40,geofence:120 -duration 10m
+//	lass-sim -functions mobilenet-v2:20 -policy termination -nodes 3
+//	lass-sim -functions binaryalert:80 -trace traces.csv   # Azure CSV rates
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lass/internal/azure"
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/core"
+	"lass/internal/functions"
+	"lass/internal/workload"
+)
+
+func main() {
+	var (
+		fnsFlag  = flag.String("functions", "squeezenet:40", "comma-separated name:rate pairs (req/s)")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		nodes    = flag.Int("nodes", 3, "cluster nodes")
+		cpu      = flag.Int64("cpu", 4000, "millicores per node")
+		mem      = flag.Int64("mem", 16384, "MiB per node")
+		policy   = flag.String("policy", "deflation", "reclamation policy: deflation|termination")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		trace    = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i")
+	)
+	flag.Parse()
+
+	pol := controller.Deflation
+	switch *policy {
+	case "deflation":
+	case "termination":
+		pol = controller.Termination
+	default:
+		fail(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var traceRows []azure.Row
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fail(err)
+		}
+		traceRows, err = azure.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var cfgs []core.FunctionConfig
+	for i, pair := range strings.Split(*fnsFlag, ",") {
+		parts := strings.SplitN(strings.TrimSpace(pair), ":", 2)
+		spec, err := functions.ByName(parts[0])
+		if err != nil {
+			fail(err)
+		}
+		var wl *workload.Schedule
+		if traceRows != nil {
+			if i >= len(traceRows) {
+				fail(fmt.Errorf("trace has %d rows but %d functions requested", len(traceRows), i+1))
+			}
+			wl, err = azure.Schedule(traceRows[i].Counts)
+		} else {
+			rate := 10.0
+			if len(parts) == 2 {
+				rate, err = strconv.ParseFloat(parts[1], 64)
+				if err != nil {
+					fail(fmt.Errorf("bad rate in %q: %w", pair, err))
+				}
+			}
+			wl, err = workload.NewStatic(rate)
+		}
+		if err != nil {
+			fail(err)
+		}
+		cfgs = append(cfgs, core.FunctionConfig{Spec: spec, Workload: wl, Prewarm: 1})
+	}
+
+	p, err := core.New(core.Config{
+		Cluster:    cluster.Config{Nodes: *nodes, CPUPerNode: *cpu, MemPerNode: *mem, Policy: cluster.WorstFit},
+		Controller: controller.Config{Policy: pol, MinContainers: 1},
+		Seed:       *seed,
+		Functions:  cfgs,
+	})
+	if err != nil {
+		fail(err)
+	}
+	res, err := p.Run(*duration)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("simulated %v on %d nodes (%d mC each), policy=%s, seed=%d\n\n",
+		*duration, *nodes, *cpu, pol, *seed)
+	fmt.Printf("%-16s %10s %10s %12s %12s %10s %9s\n",
+		"function", "arrivals", "completed", "P95 wait", "P99 resp", "SLO att", "requeued")
+	for _, fc := range cfgs {
+		fr := res.Functions[fc.Spec.Name]
+		fmt.Printf("%-16s %10d %10d %11.1fms %11.1fms %9.3f %9d\n",
+			fc.Spec.Name, fr.Arrivals, fr.Completed,
+			fr.Waits.Quantile(0.95)*1000,
+			fr.Responses.Quantile(0.99)*1000,
+			fr.SLO.Attainment(), fr.Requeued)
+	}
+	fmt.Printf("\ncluster utilization (time-weighted mean): %.1f%%\n", res.Utilization*100)
+	ops := res.ControllerOps
+	fmt.Printf("controller: %d creations, %d terminations, %d deflations, %d inflations, %d overload epochs\n",
+		ops.Creations, ops.Terminations, ops.Deflations, ops.Inflations, ops.Overloads)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lass-sim: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command lass-trace synthesizes workload traces in the Azure Functions
+// Trace 2019 CSV schema (per-minute invocation counts; see §6.7 and
+// internal/azure). The output can be fed back into the Fig 9 harness or
+// any tool expecting the Azure dataset format.
+//
+// Usage:
+//
+//	lass-trace -rows 6 -minutes 1440 -mean 30 -archetype mixed > day.csv
+//	lass-trace -archetype sporadic -rows 1 -minutes 60 > burst.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lass/internal/azure"
+	"lass/internal/xrand"
+)
+
+func main() {
+	var (
+		rows      = flag.Int("rows", 6, "number of function traces to synthesize")
+		minutes   = flag.Int("minutes", azure.MinutesPerDay, "trace length in minutes")
+		mean      = flag.Float64("mean", 30, "target mean invocations per minute")
+		archetype = flag.String("archetype", "mixed", "steady|periodic|bursty|sporadic|mixed")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	rng := xrand.New(*seed)
+	pick := func(i int) azure.Archetype {
+		switch *archetype {
+		case "steady":
+			return azure.Steady
+		case "periodic":
+			return azure.Periodic
+		case "bursty":
+			return azure.Bursty
+		case "sporadic":
+			return azure.Sporadic
+		case "mixed":
+			return azure.Archetype(i % 4)
+		default:
+			fmt.Fprintf(os.Stderr, "lass-trace: unknown archetype %q\n", *archetype)
+			os.Exit(1)
+			return 0
+		}
+	}
+	var out []azure.Row
+	for i := 0; i < *rows; i++ {
+		row, err := azure.Synthesize(rng, azure.SynthConfig{
+			Archetype:     pick(i),
+			MeanPerMinute: *mean,
+			Minutes:       *minutes,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lass-trace: %v\n", err)
+			os.Exit(1)
+		}
+		out = append(out, row)
+	}
+	if err := azure.Write(os.Stdout, out); err != nil {
+		fmt.Fprintf(os.Stderr, "lass-trace: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,674 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/fairshare"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+)
+
+// ReclamationPolicy selects how resources are taken back from
+// over-allocated functions during overload (§4.2).
+type ReclamationPolicy int
+
+const (
+	// Termination shuts down whole containers to free capacity.
+	Termination ReclamationPolicy = iota
+	// Deflation shrinks containers' CPU in place, terminating only when
+	// maximum deflation is still insufficient.
+	Deflation
+)
+
+// String returns the policy name.
+func (p ReclamationPolicy) String() string {
+	switch p {
+	case Termination:
+		return "termination"
+	case Deflation:
+		return "deflation"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Config holds the controller's tunables. Zero values are replaced by the
+// paper's defaults (see Default).
+type Config struct {
+	// SLO is the default latency objective for registered functions:
+	// §6.1 uses "95th of waiting time should be under 100 ms".
+	SLO queuing.SLO
+	// EvalInterval is how often the allocation step runs; §5 evaluates
+	// the windows every 5 seconds.
+	EvalInterval time.Duration
+	// EWMAAlpha is the weight of the newest epoch in the rate EWMA.
+	EWMAAlpha float64
+	// Windows configures the dual sliding-window estimator.
+	Windows DualWindowConfig
+	// DeflationThreshold is τ, the maximum fraction of a container's CPU
+	// that deflation may reclaim (§4.2 sets it "conservatively (e.g.,
+	// τ = 30%)").
+	DeflationThreshold float64
+	// DeflationIncrement is the per-iteration deflation step as a
+	// fraction of the standard size ("in small increments").
+	DeflationIncrement float64
+	// Policy selects the overload reclamation policy.
+	Policy ReclamationPolicy
+	// MinContainers keeps at least this many containers per function
+	// even when the model wants fewer.
+	MinContainers int
+	// DrainTTL is how long an over-provisioned container stays in the
+	// lazily-reclaimed Draining state before being terminated outright.
+	DrainTTL time.Duration
+	// CappedFairShare applies the water-filling refinement that never
+	// hands an overloaded function more than its model-computed desire
+	// (see fairshare.AdjustCapped).
+	CappedFairShare bool
+	// UseLearnedRates makes the model consume the online service-time
+	// learner's μ estimates instead of the registered spec (§5's online
+	// learning mode) once enough observations exist.
+	UseLearnedRates bool
+	// NoInflateOnSlack disables restoring deflated containers to their
+	// standard size when resource pressure ends. The Fig 4 model
+	// -validation experiment needs manually deflated containers to stay
+	// deflated so the heterogeneous model's reaction can be measured.
+	NoInflateOnSlack bool
+	// NoBurstDetection ignores the short-window burst signal and always
+	// uses the EWMA-smoothed long-window rate — the estimator ablation.
+	NoBurstDetection bool
+}
+
+// Default returns the paper-faithful configuration.
+func Default() Config {
+	return Config{
+		SLO:                queuing.SLO{Deadline: 100 * time.Millisecond, Percentile: 0.95, WaitingOnly: true},
+		EvalInterval:       5 * time.Second,
+		EWMAAlpha:          0.6,
+		Windows:            DefaultDualWindow(),
+		DeflationThreshold: 0.30,
+		DeflationIncrement: 0.05,
+		Policy:             Deflation,
+		MinContainers:      0,
+		DrainTTL:           60 * time.Second,
+		CappedFairShare:    true,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	d := Default()
+	if c.SLO.Deadline == 0 {
+		c.SLO = d.SLO
+	}
+	if c.EvalInterval == 0 {
+		c.EvalInterval = d.EvalInterval
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = d.EWMAAlpha
+	}
+	if c.Windows.Short == 0 {
+		c.Windows = d.Windows
+	}
+	if c.DeflationThreshold == 0 {
+		c.DeflationThreshold = d.DeflationThreshold
+	}
+	if c.DeflationIncrement == 0 {
+		c.DeflationIncrement = d.DeflationIncrement
+	}
+	if c.DrainTTL == 0 {
+		c.DrainTTL = d.DrainTTL
+	}
+}
+
+// Hooks connect the controller to its host (the simulated platform or the
+// real-time runtime). The controller mutates the cluster directly; hooks
+// tell the host when containers become usable or disappear so the data
+// path can attach/detach them.
+type Hooks struct {
+	// Now returns the current time.
+	Now func() time.Duration
+	// ScheduleColdStart arranges for ready() to run after the
+	// container's cold-start delay.
+	ScheduleColdStart func(c *cluster.Container, delay time.Duration, ready func())
+	// OnReady fires when a container finished cold-starting (it is
+	// already marked Running).
+	OnReady func(c *cluster.Container)
+	// OnRemove fires when a container is terminated; the host must
+	// detach it from the data path (requeueing any in-flight request).
+	OnRemove func(c *cluster.Container)
+	// OnResize fires after a container's CPU allocation changed.
+	OnResize func(c *cluster.Container)
+}
+
+func (h Hooks) validate() error {
+	if h.Now == nil || h.ScheduleColdStart == nil || h.OnReady == nil || h.OnRemove == nil {
+		return fmt.Errorf("controller: Now, ScheduleColdStart, OnReady and OnRemove hooks are required")
+	}
+	return nil
+}
+
+// Function is the controller's per-function state.
+type Function struct {
+	Spec   functions.Spec
+	SLO    queuing.SLO
+	Weight float64
+	User   string // namespace for two-level hierarchical shares ("" = flat)
+
+	estimator *DualWindow
+	smoother  *EWMA
+	learner   *functions.Learner
+	predictor Predictor
+
+	// LambdaHat is the rate estimate used by the most recent Step.
+	LambdaHat float64
+	// Desired is the model-computed container count c_new from the most
+	// recent Step.
+	Desired int
+	// Burst reports whether the most recent estimate came from the
+	// short window.
+	Burst bool
+}
+
+// Learner exposes the function's online service-time learner so the host
+// can feed completions into it.
+func (f *Function) Learner() *functions.Learner { return f.learner }
+
+// Stats are the controller's cumulative action counters.
+type Stats struct {
+	Creations    uint64
+	Terminations uint64
+	Deflations   uint64
+	Inflations   uint64
+	Revivals     uint64
+	Drains       uint64
+	Overloads    uint64 // Steps that ran the fair-share path
+	Steps        uint64
+}
+
+// Controller is the LaSS control plane for one edge cluster.
+type Controller struct {
+	cfg     Config
+	cluster *cluster.Cluster
+	hooks   Hooks
+	funcs   map[string]*Function
+	order   []string // registration order, for deterministic iteration
+	users   map[string]float64
+	drained map[cluster.ContainerID]time.Duration // when marked draining
+	stats   Stats
+}
+
+// New builds a controller for the cluster.
+func New(cfg Config, cl *cluster.Cluster, hooks Hooks) (*Controller, error) {
+	if cl == nil {
+		return nil, fmt.Errorf("controller: nil cluster")
+	}
+	if err := hooks.validate(); err != nil {
+		return nil, err
+	}
+	cfg.fillDefaults()
+	if cfg.DeflationThreshold < 0 || cfg.DeflationThreshold >= 1 {
+		return nil, fmt.Errorf("controller: deflation threshold %v out of [0,1)", cfg.DeflationThreshold)
+	}
+	if cfg.DeflationIncrement <= 0 || cfg.DeflationIncrement > 1 {
+		return nil, fmt.Errorf("controller: deflation increment %v out of (0,1]", cfg.DeflationIncrement)
+	}
+	return &Controller{
+		cfg:     cfg,
+		cluster: cl,
+		hooks:   hooks,
+		funcs:   make(map[string]*Function),
+		users:   make(map[string]float64),
+		drained: make(map[cluster.ContainerID]time.Duration),
+	}, nil
+}
+
+// Config returns the controller's effective configuration.
+func (ctl *Controller) Config() Config { return ctl.cfg }
+
+// Stats returns the cumulative action counters.
+func (ctl *Controller) Stats() Stats { return ctl.stats }
+
+// RegisterUser sets a namespace weight for the two-level hierarchical
+// share tree (§5). Functions registered with this user name share the
+// user's cluster fraction.
+func (ctl *Controller) RegisterUser(name string, weight float64) error {
+	if name == "" || weight <= 0 {
+		return fmt.Errorf("controller: invalid user %q weight %v", name, weight)
+	}
+	ctl.users[name] = weight
+	return nil
+}
+
+// Register adds a function to the platform. weight is its fair-share
+// weight ω_i; user optionally names a namespace (RegisterUser). A zero SLO
+// uses the controller default.
+func (ctl *Controller) Register(spec functions.Spec, user string, weight float64, slo queuing.SLO) (*Function, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := ctl.funcs[spec.Name]; dup {
+		return nil, fmt.Errorf("controller: function %q already registered", spec.Name)
+	}
+	if weight <= 0 {
+		weight = spec.Weight
+	}
+	if slo.Deadline == 0 {
+		slo = ctl.cfg.SLO
+	}
+	if user != "" {
+		if _, ok := ctl.users[user]; !ok {
+			return nil, fmt.Errorf("controller: user %q not registered", user)
+		}
+	}
+	est, err := NewDualWindow(ctl.cfg.Windows)
+	if err != nil {
+		return nil, err
+	}
+	sm, err := NewEWMA(ctl.cfg.EWMAAlpha)
+	if err != nil {
+		return nil, err
+	}
+	learner, err := functions.NewLearner(0.05)
+	if err != nil {
+		return nil, err
+	}
+	f := &Function{
+		Spec:      spec,
+		SLO:       slo,
+		Weight:    weight,
+		User:      user,
+		estimator: est,
+		smoother:  sm,
+		learner:   learner,
+	}
+	ctl.funcs[spec.Name] = f
+	ctl.order = append(ctl.order, spec.Name)
+	return f, nil
+}
+
+// Function returns the registered function state.
+func (ctl *Controller) Function(name string) (*Function, bool) {
+	f, ok := ctl.funcs[name]
+	return f, ok
+}
+
+// Functions returns registered function names in registration order.
+func (ctl *Controller) Functions() []string {
+	return append([]string(nil), ctl.order...)
+}
+
+// RecordArrival feeds the estimator; the data path calls it for every
+// incoming request.
+func (ctl *Controller) RecordArrival(function string) {
+	if f, ok := ctl.funcs[function]; ok {
+		f.estimator.RecordArrival(ctl.hooks.Now())
+	}
+}
+
+// serviceRate returns the μ the model should use for fn's standard
+// container: the learned estimate when configured and available, otherwise
+// the spec.
+func (ctl *Controller) serviceRate(f *Function) float64 {
+	if ctl.cfg.UseLearnedRates {
+		if mu, ok := f.learner.Rate(1.0); ok && f.learner.Observations() >= 20 {
+			return mu
+		}
+	}
+	return f.Spec.ServiceRate()
+}
+
+// liveContainers returns fn's containers that count toward its allocation
+// (Starting or Running; Draining containers are spare capacity pending
+// lazy reclaim).
+func (ctl *Controller) liveContainers(fn string) []*cluster.Container {
+	var out []*cluster.Container
+	for _, c := range ctl.cluster.ContainersOf(fn) {
+		if c.State() == cluster.Starting || c.State() == cluster.Running {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func (ctl *Controller) drainingContainers(fn string) []*cluster.Container {
+	var out []*cluster.Container
+	for _, c := range ctl.cluster.ContainersOf(fn) {
+		if c.State() == cluster.Draining {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// liveCPU sums the current CPU of fn's live containers.
+func liveCPU(cs []*cluster.Container) int64 {
+	var t int64
+	for _, c := range cs {
+		t += c.CPUCurrent
+	}
+	return t
+}
+
+// desiredContainers runs the queueing model for one function: Algorithm 1
+// on the homogeneous model, switching to the Alves heterogeneous bound
+// when the function's pool contains deflated containers (§3.2-§3.3).
+func (ctl *Controller) desiredContainers(f *Function, lambda float64) (int, error) {
+	mu := ctl.serviceRate(f)
+	live := ctl.liveContainers(f.Spec.Name)
+	heterogeneous := false
+	for _, c := range live {
+		if c.Deflated() {
+			heterogeneous = true
+			break
+		}
+	}
+	if !heterogeneous {
+		c, err := queuing.MinimalContainers(lambda, mu, f.SLO)
+		if err != nil {
+			return 0, err
+		}
+		if c < ctl.cfg.MinContainers {
+			c = ctl.cfg.MinContainers
+		}
+		return c, nil
+	}
+	// Heterogeneous pool: how many standard containers would the pool
+	// need on top of the deflated ones (Fig 4's reaction)? The desired
+	// count never drops below what a fresh homogeneous pool would use, so
+	// scale-down remains possible once pressure ends.
+	rates := make([]float64, 0, len(live))
+	for _, c := range live {
+		rates = append(rates, f.Spec.RateAt(c.CPUFraction()))
+	}
+	add, err := queuing.AdditionalHetContainers(lambda, rates, mu, f.SLO)
+	if err != nil {
+		return 0, err
+	}
+	want := len(live) + add
+	homog, err := queuing.MinimalContainers(lambda, mu, f.SLO)
+	if err != nil {
+		return 0, err
+	}
+	if add == 0 && homog < want {
+		// Pool already satisfies the SLO with room to spare: allow the
+		// homogeneous target so over-provisioned deflated pools shrink.
+		want = homog
+	}
+	if want < ctl.cfg.MinContainers {
+		want = ctl.cfg.MinContainers
+	}
+	return want, nil
+}
+
+// Step runs one allocation epoch (§3.3): estimate rates, compute desired
+// capacity per function, detect overload, adjust via fair share, and
+// reconcile each function's pool using the configured reclamation policy.
+func (ctl *Controller) Step() error {
+	now := ctl.hooks.Now()
+	ctl.stats.Steps++
+
+	// 1. Rate estimates.
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		raw, burst := f.estimator.Rate(now)
+		if ctl.cfg.NoBurstDetection {
+			burst = false
+		}
+		f.Burst = burst
+		switch {
+		case burst:
+			// React to the burst immediately (§5): bypass smoothing but
+			// keep the smoother current.
+			f.smoother.Update(raw)
+			f.LambdaHat = raw
+		case raw == 0:
+			// The entire long window is silent: the function is idle.
+			// Snap the EWMA to zero rather than decaying geometrically,
+			// so idle functions release their capacity.
+			f.smoother.Reset()
+			f.LambdaHat = f.smoother.Update(0)
+		default:
+			f.LambdaHat = f.smoother.Update(raw)
+		}
+		// Optional load prediction (§5): provision for where the load
+		// will be next epoch, not where it was.
+		if f.predictor != nil {
+			f.predictor.Observe(now, f.LambdaHat)
+			f.LambdaHat = f.predictor.Predict(now, ctl.cfg.EvalInterval)
+		}
+	}
+
+	// 2. Model-driven desired capacity.
+	demands := make([]fairshare.Demand, 0, len(ctl.order))
+	var totalDesired int64
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		want, err := ctl.desiredContainers(f, f.LambdaHat)
+		if err != nil {
+			return fmt.Errorf("controller: sizing %s: %w", name, err)
+		}
+		f.Desired = want
+		d := fairshare.Demand{
+			ID:      name,
+			Weight:  f.Weight,
+			Desired: int64(want) * f.Spec.CPUMillis,
+		}
+		demands = append(demands, d)
+		totalDesired += d.Desired
+	}
+
+	// 3. Expire lazily-drained containers past their TTL.
+	ctl.expireDrained(now)
+
+	capacity := ctl.cluster.TotalCPU()
+	if totalDesired <= capacity {
+		// No resource pressure: grant everyone their desire (§3.3).
+		for _, name := range ctl.order {
+			f := ctl.funcs[name]
+			if err := ctl.reconcileNormal(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// 4. Overload: weighted fair share (§4.1), hierarchical when users
+	// are registered (§5), then policy-based reclamation (§4.2).
+	ctl.stats.Overloads++
+	grants, err := ctl.fairShares(demands, capacity)
+	if err != nil {
+		return err
+	}
+	// Reclaim first (free capacity), then grow into the freed space.
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		if err := ctl.shrinkTo(f, grants[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		if err := ctl.growTo(f, grants[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fairShares computes each function's adjusted CPU grant. With registered
+// users it builds the two-level tree of §5; otherwise a flat adjustment.
+func (ctl *Controller) fairShares(demands []fairshare.Demand, capacity int64) (map[string]int64, error) {
+	hierarchical := false
+	for _, name := range ctl.order {
+		if ctl.funcs[name].User != "" {
+			hierarchical = true
+			break
+		}
+	}
+	if !hierarchical {
+		var allocs []fairshare.Allocation
+		var err error
+		if ctl.cfg.CappedFairShare {
+			allocs, err = fairshare.AdjustCapped(demands, capacity)
+		} else {
+			allocs, err = fairshare.Adjust(demands, capacity)
+		}
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]int64, len(allocs))
+		for _, a := range allocs {
+			out[a.ID] = a.Adjusted
+		}
+		return out, nil
+	}
+	// Two-level tree: users (weighted) → functions (weighted).
+	root := &fairshare.Node{ID: "::cluster"}
+	userNodes := make(map[string]*fairshare.Node)
+	demandOf := make(map[string]int64, len(demands))
+	for _, d := range demands {
+		demandOf[d.ID] = d.Desired
+	}
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		user := f.User
+		if user == "" {
+			user = "::default"
+		}
+		un := userNodes[user]
+		if un == nil {
+			w := ctl.users[f.User]
+			if f.User == "" || w == 0 {
+				w = 1
+			}
+			un = &fairshare.Node{ID: "::user:" + user, Weight: w}
+			userNodes[user] = un
+			root.Children = append(root.Children, un)
+		}
+		un.Children = append(un.Children, &fairshare.Node{
+			ID:      name,
+			Weight:  f.Weight,
+			Desired: demandOf[name],
+		})
+	}
+	return fairshare.AllocateTree(root, capacity, ctl.cfg.CappedFairShare)
+}
+
+// expireDrained terminates Draining containers older than DrainTTL.
+func (ctl *Controller) expireDrained(now time.Duration) {
+	for _, name := range ctl.order {
+		for _, c := range ctl.drainingContainers(name) {
+			at, ok := ctl.drained[c.ID]
+			if ok && now-at >= ctl.cfg.DrainTTL {
+				ctl.terminate(c)
+			}
+		}
+	}
+}
+
+// terminate removes a container everywhere.
+func (ctl *Controller) terminate(c *cluster.Container) {
+	delete(ctl.drained, c.ID)
+	wasServable := c.Servable()
+	if err := ctl.cluster.Terminate(c); err != nil {
+		return
+	}
+	ctl.stats.Terminations++
+	if wasServable {
+		ctl.hooks.OnRemove(c)
+	}
+}
+
+// createContainer places and cold-starts one container (possibly below
+// standard size for the deflation policy's fragment-filling). On capacity
+// failure it lazily reclaims drained containers and retries (§3.3: "any
+// container marked for termination ... is actively terminated, and those
+// resources are reallocated").
+func (ctl *Controller) createContainer(f *Function, cpu int64) (*cluster.Container, error) {
+	place := func() (*cluster.Container, error) {
+		if cpu == f.Spec.CPUMillis {
+			return ctl.cluster.Place(f.Spec.Name, cpu, f.Spec.MemoryMiB)
+		}
+		return ctl.cluster.PlaceDeflated(f.Spec.Name, f.Spec.CPUMillis, cpu, f.Spec.MemoryMiB)
+	}
+	c, err := place()
+	if err != nil {
+		if !ctl.reclaimDrainedFor(cpu, f.Spec.MemoryMiB) {
+			return nil, err
+		}
+		c, err = place()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctl.stats.Creations++
+	ctl.hooks.ScheduleColdStart(c, f.Spec.ColdStart, func() {
+		if c.State() != cluster.Starting {
+			return // terminated while cold-starting
+		}
+		if err := ctl.cluster.MarkRunning(c); err == nil {
+			ctl.hooks.OnReady(c)
+		}
+	})
+	return c, nil
+}
+
+// reclaimDrainedFor terminates drained containers (oldest first, across
+// all functions) until some node could fit the requested size. Reports
+// whether any progress was made.
+func (ctl *Controller) reclaimDrainedFor(cpu, mem int64) bool {
+	type cand struct {
+		c  *cluster.Container
+		at time.Duration
+	}
+	var cands []cand
+	for _, name := range ctl.order {
+		for _, c := range ctl.drainingContainers(name) {
+			cands = append(cands, cand{c, ctl.drained[c.ID]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].at != cands[j].at {
+			return cands[i].at < cands[j].at
+		}
+		return cands[i].c.ID < cands[j].c.ID
+	})
+	progress := false
+	for _, cd := range cands {
+		if ctl.fits(cpu, mem) {
+			return true
+		}
+		ctl.terminate(cd.c)
+		progress = true
+	}
+	return progress && ctl.fits(cpu, mem)
+}
+
+func (ctl *Controller) fits(cpu, mem int64) bool {
+	for _, n := range ctl.cluster.Nodes() {
+		if n.Fits(cpu, mem) {
+			return true
+		}
+	}
+	return false
+}
+
+// markDraining transitions a container to lazy-reclaim state. The data
+// path keeps serving on it until it is actually terminated.
+func (ctl *Controller) markDraining(c *cluster.Container, now time.Duration) {
+	if err := ctl.cluster.MarkDraining(c); err == nil {
+		ctl.drained[c.ID] = now
+		ctl.stats.Drains++
+	}
+}
+
+// revive pulls a draining container back into service.
+func (ctl *Controller) revive(c *cluster.Container) bool {
+	if err := ctl.cluster.Revive(c); err != nil {
+		return false
+	}
+	delete(ctl.drained, c.ID)
+	ctl.stats.Revivals++
+	return true
+}

@@ -1,0 +1,517 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+)
+
+// harness drives a Controller with fake time and instant cold starts.
+type harness struct {
+	t       *testing.T
+	now     time.Duration
+	cl      *cluster.Cluster
+	ctl     *Controller
+	ready   []*cluster.Container
+	removed []*cluster.Container
+	pending []func() // delayed cold starts when instant=false
+	instant bool
+}
+
+func newHarness(t *testing.T, cfg Config, clCfg cluster.Config) *harness {
+	t.Helper()
+	h := &harness{t: t, instant: true}
+	cl, err := cluster.New(clCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.cl = cl
+	hooks := Hooks{
+		Now: func() time.Duration { return h.now },
+		ScheduleColdStart: func(c *cluster.Container, delay time.Duration, ready func()) {
+			if h.instant {
+				ready()
+			} else {
+				h.pending = append(h.pending, ready)
+			}
+		},
+		OnReady:  func(c *cluster.Container) { h.ready = append(h.ready, c) },
+		OnRemove: func(c *cluster.Container) { h.removed = append(h.removed, c) },
+		OnResize: func(c *cluster.Container) {},
+	}
+	ctl, err := New(cfg, cl, hooks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ctl = ctl
+	return h
+}
+
+// offer feeds deterministic arrivals at the given rate over the window
+// [h.now, h.now+dur), then advances the clock to the window's end.
+func (h *harness) offer(fn string, rate float64, dur time.Duration) {
+	end := h.now + dur
+	if rate > 0 {
+		gap := time.Duration(float64(time.Second) / rate)
+		for t := h.now; t < end; t += gap {
+			h.now = t
+			h.ctl.RecordArrival(fn)
+		}
+	}
+	h.now = end
+}
+
+func (h *harness) step() {
+	h.t.Helper()
+	if err := h.ctl.Step(); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func liveOf(cl *cluster.Cluster, fn string) []*cluster.Container {
+	var out []*cluster.Container
+	for _, c := range cl.ContainersOf(fn) {
+		if c.State() == cluster.Starting || c.State() == cluster.Running {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func mustSpec(t *testing.T, name string) functions.Spec {
+	t.Helper()
+	s, err := functions.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	cl, _ := cluster.New(cluster.PaperCluster())
+	hooks := Hooks{
+		Now:               func() time.Duration { return 0 },
+		ScheduleColdStart: func(*cluster.Container, time.Duration, func()) {},
+		OnReady:           func(*cluster.Container) {},
+		OnRemove:          func(*cluster.Container) {},
+	}
+	if _, err := New(Config{}, nil, hooks); err == nil {
+		t.Error("want error for nil cluster")
+	}
+	if _, err := New(Config{}, cl, Hooks{}); err == nil {
+		t.Error("want error for missing hooks")
+	}
+	if _, err := New(Config{DeflationThreshold: 1.5}, cl, hooks); err == nil {
+		t.Error("want error for threshold out of range")
+	}
+	if _, err := New(Config{DeflationIncrement: -0.1}, cl, hooks); err == nil {
+		t.Error("want error for negative increment")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err == nil {
+		t.Error("want error for duplicate registration")
+	}
+	if _, err := h.ctl.Register(mustSpec(t, "geofence"), "ghost", 1, queuing.SLO{}); err == nil {
+		t.Error("want error for unregistered user")
+	}
+	bad := spec
+	bad.Name = ""
+	if _, err := h.ctl.Register(bad, "", 1, queuing.SLO{}); err == nil {
+		t.Error("want error for invalid spec")
+	}
+	if err := h.ctl.RegisterUser("", 1); err == nil {
+		t.Error("want error for empty user name")
+	}
+	if err := h.ctl.RegisterUser("u", 0); err == nil {
+		t.Error("want error for zero user weight")
+	}
+	fns := h.ctl.Functions()
+	if len(fns) != 1 || fns[0] != "micro-benchmark" {
+		t.Errorf("functions=%v", fns)
+	}
+}
+
+func TestScaleUpOnLoad(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond) // mu=10
+	f, err := h.ctl.Register(spec, "", 1, queuing.SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.offer(spec.Name, 30, 30*time.Second)
+	h.step()
+	if f.LambdaHat < 25 || f.LambdaHat > 35 {
+		t.Fatalf("lambdaHat=%v want ~30", f.LambdaHat)
+	}
+	want, err := queuing.MinimalContainers(f.LambdaHat, 10, h.ctl.cfg.SLO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Desired != want {
+		t.Errorf("desired=%d want %d", f.Desired, want)
+	}
+	if got := len(liveOf(h.cl, spec.Name)); got != want {
+		t.Errorf("live containers=%d want %d", got, want)
+	}
+	if len(h.ready) != want {
+		t.Errorf("ready callbacks=%d want %d", len(h.ready), want)
+	}
+}
+
+func TestScaleDownMarksDrainingThenExpires(t *testing.T) {
+	cfg := Config{DrainTTL: 30 * time.Second}
+	h := newHarness(t, cfg, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+
+	h.offer(spec.Name, 30, 30*time.Second)
+	h.step()
+	before := len(liveOf(h.cl, spec.Name))
+	if before < 4 {
+		t.Fatalf("setup: live=%d", before)
+	}
+
+	// Load vanishes; estimates decay over the 2-minute window.
+	h.offer(spec.Name, 0, 3*time.Minute)
+	h.step()
+	after := len(liveOf(h.cl, spec.Name))
+	if after != 0 {
+		t.Errorf("live=%d want 0 after idle", after)
+	}
+	// Surplus went to Draining, not terminated (lazy, §3.3).
+	draining := 0
+	for _, c := range h.cl.ContainersOf(spec.Name) {
+		if c.State() == cluster.Draining {
+			draining++
+		}
+	}
+	if draining != before {
+		t.Errorf("draining=%d want %d", draining, before)
+	}
+	if len(h.removed) != 0 {
+		t.Error("lazy drain must not remove containers from the data path yet")
+	}
+
+	// After the TTL, the next step reaps them.
+	h.now += cfg.DrainTTL + time.Second
+	h.step()
+	if n := h.cl.LiveContainers(); n != 0 {
+		t.Errorf("containers after TTL=%d want 0", n)
+	}
+	if len(h.removed) != before {
+		t.Errorf("removed=%d want %d", len(h.removed), before)
+	}
+}
+
+func TestDrainingContainersAreRevivedOnLoadReturn(t *testing.T) {
+	h := newHarness(t, Config{DrainTTL: 10 * time.Minute}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+
+	h.offer(spec.Name, 30, 30*time.Second)
+	h.step()
+	created := h.ctl.Stats().Creations
+
+	h.offer(spec.Name, 0, 3*time.Minute)
+	h.step()
+
+	// Load returns: pool should be rebuilt by revival, not creation.
+	h.offer(spec.Name, 30, 30*time.Second)
+	h.step()
+	if h.ctl.Stats().Creations != created {
+		t.Errorf("creations went %d -> %d; expected revivals instead",
+			created, h.ctl.Stats().Creations)
+	}
+	if h.ctl.Stats().Revivals == 0 {
+		t.Error("no revivals recorded")
+	}
+}
+
+func TestBurstReactsInOneStep(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	f, _ := h.ctl.Register(spec, "", 1, queuing.SLO{})
+
+	h.offer(spec.Name, 5, 2*time.Minute)
+	h.step()
+	small := len(liveOf(h.cl, spec.Name))
+
+	// 6x burst for 10 seconds: the short window must win immediately.
+	h.offer(spec.Name, 30, 10*time.Second)
+	h.step()
+	if !f.Burst {
+		t.Fatal("burst not flagged")
+	}
+	if f.LambdaHat < 25 {
+		t.Errorf("lambdaHat=%v want ~30 (short window, unsmoothed)", f.LambdaHat)
+	}
+	if got := len(liveOf(h.cl, spec.Name)); got <= small {
+		t.Errorf("containers=%d did not grow from %d on burst", got, small)
+	}
+}
+
+func TestMinContainersFloor(t *testing.T) {
+	h := newHarness(t, Config{MinContainers: 2}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+	h.now = 10 * time.Second
+	h.step() // no traffic at all
+	if got := len(liveOf(h.cl, spec.Name)); got != 2 {
+		t.Errorf("live=%d want MinContainers=2", got)
+	}
+}
+
+func TestProvision(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+	if err := h.ctl.Provision(spec.Name, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(liveOf(h.cl, spec.Name)); got != 3 {
+		t.Errorf("live=%d", got)
+	}
+	if err := h.ctl.Provision("ghost", 1); err == nil ||
+		!strings.Contains(err.Error(), "unknown function") {
+		t.Errorf("want unknown-function error, got %v", err)
+	}
+}
+
+func TestOverloadFairShareTerminationPolicy(t *testing.T) {
+	// Two functions, equal weights, both demanding far beyond half the
+	// cluster: each must end at its guaranteed ~50% share (Lemma 1), via
+	// container termination.
+	cfg := Config{Policy: Termination}
+	h := newHarness(t, cfg, cluster.PaperCluster()) // 12000 mC
+	mb := functions.MicroBenchmark(100 * time.Millisecond)
+	mobile := mustSpec(t, "mobilenet-v2")
+	h.ctl.Register(mb, "", 1, queuing.SLO{})
+	h.ctl.Register(mobile, "", 1, queuing.SLO{})
+
+	// Saturate the micro-benchmark first: it takes over the cluster.
+	h.offer(mb.Name, 250, 30*time.Second)
+	h.step()
+	mbCPU := h.cl.CPUOf(mb.Name)
+	if mbCPU <= 6000 {
+		t.Fatalf("setup: micro-benchmark only has %d mC", mbCPU)
+	}
+
+	// MobileNet load arrives; both now overloaded. Feed both functions in
+	// the same window so neither estimate decays.
+	gap := 20 * time.Millisecond // 50 req/s for mb
+	end := h.now + 30*time.Second
+	for tt := h.now; tt < end; tt += gap {
+		h.now = tt
+		h.ctl.RecordArrival(mb.Name)
+		if int(tt/gap)%5 == 0 { // 10 req/s for mobilenet
+			h.ctl.RecordArrival(mobile.Name)
+		}
+	}
+	h.now = end
+	h.step()
+
+	mbCPU = h.cl.CPUOf(mb.Name)
+	moCPU := h.cl.CPUOf(mobile.Name)
+	// Guaranteed share is 6000 each; termination quantizes to whole
+	// containers (mobilenet: 2000 mC each -> exactly 6000; micro: 400 -> 6000).
+	if mbCPU > 6000 {
+		t.Errorf("micro-benchmark kept %d mC > fair share 6000", mbCPU)
+	}
+	if moCPU < 4000 {
+		t.Errorf("mobilenet got %d mC, below within-a-container of its 6000 share", moCPU)
+	}
+	if h.ctl.Stats().Overloads == 0 {
+		t.Error("overload step not counted")
+	}
+	if h.ctl.Stats().Deflations != 0 {
+		t.Error("termination policy must not deflate")
+	}
+}
+
+func TestOverloadDeflationPolicyKeepsMoreContainers(t *testing.T) {
+	// The deflation policy must leave the shrunk function with at least
+	// as many containers as the termination policy would (§4.2: "allows a
+	// function to have strictly more containers").
+	run := func(policy ReclamationPolicy) (containers int, cpu int64, util float64) {
+		h := newHarness(t, Config{Policy: policy}, cluster.PaperCluster())
+		mb := functions.MicroBenchmark(100 * time.Millisecond)
+		mobile := mustSpec(t, "mobilenet-v2")
+		h.ctl.Register(mb, "", 1, queuing.SLO{})
+		h.ctl.Register(mobile, "", 1, queuing.SLO{})
+		// MobileNet grabs most of the cluster.
+		h.offer(mobile.Name, 18, 30*time.Second)
+		h.step()
+		// Then the micro-benchmark bursts; overload.
+		gap := 10 * time.Millisecond // 100 req/s micro
+		end := h.now + 30*time.Second
+		for tt := h.now; tt < end; tt += gap {
+			h.now = tt
+			h.ctl.RecordArrival(mb.Name)
+			if int(tt/gap)%6 == 0 {
+				h.ctl.RecordArrival(mobile.Name)
+			}
+		}
+		h.now = end
+		h.step()
+		return len(liveOf(h.cl, mobile.Name)), h.cl.CPUOf(mobile.Name), h.cl.CPUUtilization()
+	}
+	tN, tCPU, tUtil := run(Termination)
+	dN, dCPU, dUtil := run(Deflation)
+	if dN < tN {
+		t.Errorf("deflation left %d containers < termination %d", dN, tN)
+	}
+	if dCPU < tCPU {
+		t.Errorf("deflation left %d mC < termination %d (functions must get >= resources)", dCPU, tCPU)
+	}
+	if dUtil < tUtil {
+		t.Errorf("deflation utilization %.3f < termination %.3f", dUtil, tUtil)
+	}
+}
+
+func TestDeflationRespectsThreshold(t *testing.T) {
+	h := newHarness(t, Config{Policy: Deflation, DeflationThreshold: 0.30}, cluster.PaperCluster())
+	mb := functions.MicroBenchmark(100 * time.Millisecond)
+	mobile := mustSpec(t, "mobilenet-v2")
+	h.ctl.Register(mb, "", 1, queuing.SLO{})
+	h.ctl.Register(mobile, "", 1, queuing.SLO{})
+	h.offer(mobile.Name, 18, 30*time.Second)
+	h.step()
+	gap := 10 * time.Millisecond
+	end := h.now + 30*time.Second
+	for tt := h.now; tt < end; tt += gap {
+		h.now = tt
+		h.ctl.RecordArrival(mb.Name)
+		if int(tt/gap)%6 == 0 {
+			h.ctl.RecordArrival(mobile.Name)
+		}
+	}
+	h.now = end
+	h.step()
+	for _, c := range h.cl.ContainersOf(mobile.Name) {
+		if c.Alive() && c.CPUFraction() < 0.70-1e-9 {
+			t.Errorf("container %d deflated to %.2f, below 1-τ=0.70", c.ID, c.CPUFraction())
+		}
+	}
+	if h.ctl.Stats().Deflations == 0 {
+		t.Error("no deflations recorded")
+	}
+}
+
+func TestHierarchicalSharesWeightedUsers(t *testing.T) {
+	// User2 has twice user1's weight: under full overload user2's
+	// functions get ~2/3 of the cluster (§6.7 setup).
+	h := newHarness(t, Config{Policy: Termination}, cluster.PaperCluster())
+	h.ctl.RegisterUser("user1", 1)
+	h.ctl.RegisterUser("user2", 2)
+	f1 := functions.MicroBenchmark(100 * time.Millisecond)
+	f2 := mustSpec(t, "binaryalert")
+	h.ctl.Register(f1, "user1", 1, queuing.SLO{})
+	h.ctl.Register(f2, "user2", 1, queuing.SLO{})
+	// Both saturate (micro: 400mC × huge, binaryalert: 500mC × huge).
+	gap := 2 * time.Millisecond
+	end := h.now + 30*time.Second
+	for tt := h.now; tt < end; tt += gap {
+		h.now = tt
+		h.ctl.RecordArrival(f1.Name)
+		h.ctl.RecordArrival(f2.Name)
+	}
+	h.now = end
+	h.step()
+	u1 := h.cl.CPUOf(f1.Name)
+	u2 := h.cl.CPUOf(f2.Name)
+	if u1 > 4000 {
+		t.Errorf("user1 got %d mC > 1/3 share 4000", u1)
+	}
+	if u2 < 7000 {
+		t.Errorf("user2 got %d mC, want ~8000 (2/3 share)", u2)
+	}
+}
+
+func TestColdStartDelayedReady(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	h.instant = false
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+	h.offer(spec.Name, 20, 30*time.Second)
+	h.step()
+	if len(h.ready) != 0 {
+		t.Fatal("ready fired before cold start completed")
+	}
+	for _, c := range liveOf(h.cl, spec.Name) {
+		if c.State() != cluster.Starting {
+			t.Errorf("container %d state %v want starting", c.ID, c.State())
+		}
+	}
+	for _, fn := range h.pending {
+		fn()
+	}
+	if len(h.ready) == 0 {
+		t.Fatal("ready not fired after cold start")
+	}
+	for _, c := range liveOf(h.cl, spec.Name) {
+		if c.State() != cluster.Running {
+			t.Errorf("container %d state %v want running", c.ID, c.State())
+		}
+	}
+}
+
+func TestColdStartOnTerminatedContainerIsNoop(t *testing.T) {
+	h := newHarness(t, Config{Policy: Termination}, cluster.PaperCluster())
+	h.instant = false
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+	h.ctl.Provision(spec.Name, 1)
+	c := h.cl.ContainersOf(spec.Name)[0]
+	h.cl.Terminate(c)
+	for _, fn := range h.pending {
+		fn() // must not panic or mark a terminated container running
+	}
+	if len(h.ready) != 0 {
+		t.Error("ready fired for terminated container")
+	}
+}
+
+func TestUseLearnedRates(t *testing.T) {
+	h := newHarness(t, Config{UseLearnedRates: true}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond) // spec says mu=10
+	f, _ := h.ctl.Register(spec, "", 1, queuing.SLO{})
+	// Teach the learner the function is actually 2x slower (mu=5).
+	for i := 0; i < 100; i++ {
+		f.Learner().Observe(1.0, 200*time.Millisecond)
+	}
+	h.offer(spec.Name, 20, 30*time.Second)
+	h.step()
+	wantSlow, _ := queuing.MinimalContainers(f.LambdaHat, 5, h.ctl.cfg.SLO)
+	if f.Desired != wantSlow {
+		t.Errorf("desired=%d want %d (learned mu=5)", f.Desired, wantSlow)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	h.ctl.Register(spec, "", 1, queuing.SLO{})
+	h.offer(spec.Name, 20, 30*time.Second)
+	h.step()
+	st := h.ctl.Stats()
+	if st.Steps != 1 || st.Creations == 0 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Termination.String() != "termination" || Deflation.String() != "deflation" {
+		t.Error("policy strings wrong")
+	}
+}

@@ -1,0 +1,147 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDualWindowValidation(t *testing.T) {
+	if _, err := NewDualWindow(DualWindowConfig{Short: 0, Long: time.Minute, BurstFactor: 2}); err == nil {
+		t.Error("want error for zero short window")
+	}
+	if _, err := NewDualWindow(DualWindowConfig{Short: time.Minute, Long: time.Minute, BurstFactor: 2}); err == nil {
+		t.Error("want error for short >= long")
+	}
+	if _, err := NewDualWindow(DualWindowConfig{Short: time.Second, Long: time.Minute, BurstFactor: 1}); err == nil {
+		t.Error("want error for burst factor <= 1")
+	}
+}
+
+func TestDualWindowSteadyRate(t *testing.T) {
+	d, err := NewDualWindow(DefaultDualWindow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 req/s for 3 minutes (deterministic spacing).
+	for ms := 0; ms < 180_000; ms += 50 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	rate, burst := d.Rate(180 * time.Second)
+	if burst {
+		t.Error("steady load flagged as burst")
+	}
+	if math.Abs(rate-20) > 1 {
+		t.Errorf("rate=%v want ~20", rate)
+	}
+}
+
+func TestDualWindowBurstDetection(t *testing.T) {
+	d, _ := NewDualWindow(DefaultDualWindow())
+	// 5 req/s for 2 minutes, then 25 req/s for 10 seconds.
+	for ms := 0; ms < 120_000; ms += 200 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	for ms := 120_000; ms < 130_000; ms += 40 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	rate, burst := d.Rate(130 * time.Second)
+	if !burst {
+		t.Fatal("5x rate jump not detected as burst")
+	}
+	if math.Abs(rate-25) > 3 {
+		t.Errorf("burst rate=%v want ~25 (short window)", rate)
+	}
+}
+
+func TestDualWindowNoBurstUsesLongWindow(t *testing.T) {
+	d, _ := NewDualWindow(DefaultDualWindow())
+	// 10 req/s for 110s then 15 req/s for 10s: 1.5x is below the 2x
+	// burst factor, so the long window should dominate.
+	for ms := 0; ms < 110_000; ms += 100 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	for ms := 110_000; ms < 120_000; ms += 67 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	rate, burst := d.Rate(120 * time.Second)
+	if burst {
+		t.Error("1.5x jump should not trip the 2x burst factor")
+	}
+	if rate > 12 {
+		t.Errorf("rate=%v should be near the long-window average ~10.4", rate)
+	}
+}
+
+func TestDualWindowEarlyRunScaling(t *testing.T) {
+	// 3 seconds into a run, a 10 req/s stream must estimate ~10, not be
+	// diluted by 117 seconds of empty history.
+	d, _ := NewDualWindow(DefaultDualWindow())
+	for ms := 0; ms < 3000; ms += 100 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	rate, _ := d.Rate(3 * time.Second)
+	if math.Abs(rate-10) > 2 {
+		t.Errorf("early rate=%v want ~10", rate)
+	}
+}
+
+func TestDualWindowIdleDecaysToZero(t *testing.T) {
+	d, _ := NewDualWindow(DefaultDualWindow())
+	for ms := 0; ms < 10_000; ms += 10 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	// 5 minutes of silence: every bucket has rolled over.
+	rate, burst := d.Rate(310 * time.Second)
+	if rate != 0 || burst {
+		t.Errorf("rate=%v burst=%v after long idle", rate, burst)
+	}
+}
+
+func TestDualWindowRateDropsAfterLoadEnds(t *testing.T) {
+	d, _ := NewDualWindow(DefaultDualWindow())
+	for ms := 0; ms < 120_000; ms += 50 {
+		d.RecordArrival(time.Duration(ms) * time.Millisecond)
+	}
+	rate1, _ := d.Rate(120 * time.Second)
+	rate2, _ := d.Rate(180 * time.Second) // 60s of silence
+	if rate2 >= rate1 {
+		t.Errorf("rate did not decay: %v -> %v", rate1, rate2)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	if _, err := NewEWMA(0); err == nil {
+		t.Error("want error for alpha 0")
+	}
+	if _, err := NewEWMA(1.1); err == nil {
+		t.Error("want error for alpha > 1")
+	}
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Update(10); v != 10 {
+		t.Errorf("first update=%v want 10 (no history)", v)
+	}
+	if v := e.Update(20); v != 15 {
+		t.Errorf("second update=%v want 15", v)
+	}
+	if e.Value() != 15 {
+		t.Errorf("value=%v", e.Value())
+	}
+	e.Reset()
+	if v := e.Update(100); v != 100 {
+		t.Errorf("after reset update=%v want 100", v)
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e, _ := NewEWMA(0.3)
+	for i := 0; i < 50; i++ {
+		e.Update(42)
+	}
+	if math.Abs(e.Value()-42) > 1e-9 {
+		t.Errorf("value=%v", e.Value())
+	}
+}

@@ -1,0 +1,102 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+)
+
+// Predictor forecasts a function's arrival rate for the next epoch from
+// the estimator's observations. §5 notes that "predicting arrival rate
+// using time series analysis or machine learning techniques may be more
+// effective" than the reactive window estimate and that "one can plug in
+// any load prediction method of choice into LaSS with ease" — Predictor is
+// that plug point. The controller feeds each epoch's estimate to the
+// predictor and provisions for the predicted rate instead of the raw
+// estimate (never below zero).
+type Predictor interface {
+	// Observe records the rate estimated for the epoch ending at now.
+	Observe(now time.Duration, rate float64)
+	// Predict returns the rate expected over the next horizon.
+	Predict(now time.Duration, horizon time.Duration) float64
+}
+
+// TrendPredictor extrapolates a linear trend over a sliding window of
+// epoch rate estimates (double-smoothing-free, deliberately simple): if
+// load has been ramping, the next epoch is provisioned for where the ramp
+// will be, not where it was. A Damping factor below 1 tempers the
+// extrapolation.
+type TrendPredictor struct {
+	window  int
+	damping float64
+	times   []float64 // seconds
+	rates   []float64
+}
+
+// NewTrendPredictor returns a predictor fitting a least-squares line over
+// the last window observations. damping in (0,1] scales the extrapolated
+// slope (1 = full trend).
+func NewTrendPredictor(window int, damping float64) (*TrendPredictor, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("controller: trend window %d < 2", window)
+	}
+	if damping <= 0 || damping > 1 {
+		return nil, fmt.Errorf("controller: damping %v out of (0,1]", damping)
+	}
+	return &TrendPredictor{window: window, damping: damping}, nil
+}
+
+// Observe implements Predictor.
+func (p *TrendPredictor) Observe(now time.Duration, rate float64) {
+	p.times = append(p.times, now.Seconds())
+	p.rates = append(p.rates, rate)
+	if len(p.times) > p.window {
+		p.times = p.times[1:]
+		p.rates = p.rates[1:]
+	}
+}
+
+// Predict implements Predictor: least-squares line through the window,
+// evaluated at now+horizon, clamped at zero.
+func (p *TrendPredictor) Predict(now time.Duration, horizon time.Duration) float64 {
+	n := len(p.times)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return p.rates[0]
+	}
+	var sumT, sumR, sumTT, sumTR float64
+	for i := 0; i < n; i++ {
+		sumT += p.times[i]
+		sumR += p.rates[i]
+		sumTT += p.times[i] * p.times[i]
+		sumTR += p.times[i] * p.rates[i]
+	}
+	den := float64(n)*sumTT - sumT*sumT
+	last := p.rates[n-1]
+	if den == 0 {
+		return last
+	}
+	slope := (float64(n)*sumTR - sumT*sumR) / den
+	intercept := (sumR - slope*sumT) / float64(n)
+	at := (now + horizon).Seconds()
+	pred := intercept + slope*at
+	// Damp the extrapolation beyond the last observation.
+	pred = last + (pred-last)*p.damping
+	if pred < 0 {
+		pred = 0
+	}
+	return pred
+}
+
+// SetPredictor attaches a predictor to a registered function. Pass nil to
+// remove it. With a predictor attached, the controller provisions each
+// epoch for Predict(now, EvalInterval) instead of the raw estimate.
+func (ctl *Controller) SetPredictor(function string, p Predictor) error {
+	f, ok := ctl.funcs[function]
+	if !ok {
+		return errUnknown(function)
+	}
+	f.predictor = p
+	return nil
+}

@@ -1,0 +1,132 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+)
+
+func TestTrendPredictorValidation(t *testing.T) {
+	if _, err := NewTrendPredictor(1, 1); err == nil {
+		t.Error("want error for window < 2")
+	}
+	if _, err := NewTrendPredictor(4, 0); err == nil {
+		t.Error("want error for damping 0")
+	}
+	if _, err := NewTrendPredictor(4, 1.5); err == nil {
+		t.Error("want error for damping > 1")
+	}
+}
+
+func TestTrendPredictorExtrapolatesRamp(t *testing.T) {
+	p, err := NewTrendPredictor(6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate grows 2 req/s every 5s epoch: 10, 12, 14, ...
+	for i := 0; i < 6; i++ {
+		p.Observe(time.Duration(i*5)*time.Second, 10+2*float64(i))
+	}
+	// Last observation 20 at t=25s; next epoch at 30s should be ~22.
+	got := p.Predict(25*time.Second, 5*time.Second)
+	if math.Abs(got-22) > 0.1 {
+		t.Errorf("predicted %v want ~22", got)
+	}
+}
+
+func TestTrendPredictorDamping(t *testing.T) {
+	full, _ := NewTrendPredictor(6, 1.0)
+	half, _ := NewTrendPredictor(6, 0.5)
+	for i := 0; i < 6; i++ {
+		at := time.Duration(i*5) * time.Second
+		full.Observe(at, 10+2*float64(i))
+		half.Observe(at, 10+2*float64(i))
+	}
+	f := full.Predict(25*time.Second, 5*time.Second)
+	h := half.Predict(25*time.Second, 5*time.Second)
+	if h >= f {
+		t.Errorf("damped prediction %v not below full %v", h, f)
+	}
+	if h <= 20 {
+		t.Errorf("damped prediction %v should still exceed last observation 20", h)
+	}
+}
+
+func TestTrendPredictorConstantLoad(t *testing.T) {
+	p, _ := NewTrendPredictor(4, 1.0)
+	for i := 0; i < 10; i++ {
+		p.Observe(time.Duration(i*5)*time.Second, 30)
+	}
+	if got := p.Predict(45*time.Second, 5*time.Second); math.Abs(got-30) > 1e-9 {
+		t.Errorf("constant load predicted as %v", got)
+	}
+}
+
+func TestTrendPredictorNeverNegative(t *testing.T) {
+	p, _ := NewTrendPredictor(4, 1.0)
+	// Steep decline: 40, 20, 0, 0 ...
+	rates := []float64{60, 40, 20, 5}
+	for i, r := range rates {
+		p.Observe(time.Duration(i*5)*time.Second, r)
+	}
+	if got := p.Predict(15*time.Second, 30*time.Second); got < 0 {
+		t.Errorf("negative prediction %v", got)
+	}
+}
+
+func TestTrendPredictorEmptyAndSingle(t *testing.T) {
+	p, _ := NewTrendPredictor(4, 1.0)
+	if got := p.Predict(0, time.Second); got != 0 {
+		t.Errorf("empty predictor returned %v", got)
+	}
+	p.Observe(0, 17)
+	if got := p.Predict(time.Second, time.Second); got != 17 {
+		t.Errorf("single-observation prediction %v want 17", got)
+	}
+}
+
+func TestControllerUsesPredictor(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	f, err := h.ctl.Register(spec, "", 1, queuing.SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.ctl.SetPredictor("ghost", nil); err == nil {
+		t.Error("want error for unknown function")
+	}
+	pred, _ := NewTrendPredictor(8, 1.0)
+	if err := h.ctl.SetPredictor(spec.Name, pred); err != nil {
+		t.Fatal(err)
+	}
+	// Ramp the offered load across epochs: 10, 20, 30 req/s.
+	for i, rate := range []float64{10, 20, 30} {
+		h.offer(spec.Name, rate, 10*time.Second)
+		h.step()
+		_ = i
+	}
+	// With the trend predictor the effective estimate must overshoot the
+	// latest smoothed estimate (the ramp continues).
+	noPred := newHarness(t, Config{}, cluster.PaperCluster())
+	fn2, _ := noPred.ctl.Register(spec, "", 1, queuing.SLO{})
+	for _, rate := range []float64{10, 20, 30} {
+		noPred.offer(spec.Name, rate, 10*time.Second)
+		noPred.step()
+	}
+	if f.LambdaHat <= fn2.LambdaHat {
+		t.Errorf("predictor estimate %v not above reactive %v on a ramp", f.LambdaHat, fn2.LambdaHat)
+	}
+	// Removing the predictor reverts to reactive estimates.
+	if err := h.ctl.SetPredictor(spec.Name, nil); err != nil {
+		t.Fatal(err)
+	}
+	h.offer(spec.Name, 30, 10*time.Second)
+	h.step()
+	if f.Burst {
+		t.Log("burst flagged; acceptable") // not an error, just informative
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/functions"
+	"lass/internal/workload"
+	"lass/internal/xrand"
+)
+
+// TestInvariantCapacityNeverExceeded drives randomized multi-function
+// workloads through the full platform and asserts, at every controller
+// epoch, that the cluster's accounting invariants hold: allocated CPU
+// never exceeds capacity on any node, and per-function request
+// conservation (arrivals = completed + queued + in-flight) holds at the
+// end of each run.
+func TestInvariantCapacityNeverExceeded(t *testing.T) {
+	rng := xrand.New(20240610)
+	catalog := functions.Catalog()
+	for trial := 0; trial < 8; trial++ {
+		var cfgs []FunctionConfig
+		nFuncs := rng.Intn(4) + 2
+		for i := 0; i < nFuncs; i++ {
+			spec := catalog[rng.Intn(len(catalog))]
+			if hasFunc(cfgs, spec.Name) {
+				continue
+			}
+			// Random step schedule, occasionally saturating.
+			var steps []workload.Step
+			at := time.Duration(0)
+			for s := 0; s < rng.Intn(3)+1; s++ {
+				steps = append(steps, workload.Step{
+					Start: at,
+					Rate:  rng.Uniform(0, 30),
+				})
+				at += time.Duration(rng.Intn(120)+30) * time.Second
+			}
+			wl, err := workload.NewSteps(steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgs = append(cfgs, FunctionConfig{
+				Spec: spec, Workload: wl, Weight: float64(rng.Intn(3) + 1),
+				Prewarm: rng.Intn(2),
+			})
+		}
+		if len(cfgs) == 0 {
+			continue
+		}
+		policy := controller.ReclamationPolicy(rng.Intn(2))
+		p, err := New(Config{
+			Cluster:    cluster.PaperCluster(),
+			Controller: controller.Config{Policy: policy},
+			Seed:       rng.Uint64(),
+			Functions:  cfgs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check node-level invariants at every epoch boundary.
+		p.Engine.Every(5*time.Second, func() {
+			for _, n := range p.Cluster.Nodes() {
+				if n.CPUUsed() > n.CPUCapacity {
+					t.Fatalf("trial %d: node %d CPU %d > capacity %d",
+						trial, n.ID, n.CPUUsed(), n.CPUCapacity)
+				}
+				if n.MemUsed() > n.MemCapacity {
+					t.Fatalf("trial %d: node %d mem %d > capacity %d",
+						trial, n.ID, n.MemUsed(), n.MemCapacity)
+				}
+				var sum int64
+				for _, c := range n.Containers() {
+					if c.CPUCurrent <= 0 || c.CPUCurrent > c.CPUStandard {
+						t.Fatalf("trial %d: container %d CPU %d outside (0,%d]",
+							trial, c.ID, c.CPUCurrent, c.CPUStandard)
+					}
+					sum += c.CPUCurrent
+				}
+				if sum != n.CPUUsed() {
+					t.Fatalf("trial %d: node %d accounting drift: %d != %d",
+						trial, n.ID, sum, n.CPUUsed())
+				}
+			}
+		})
+		res, err := p.Run(6 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, fr := range res.Functions {
+			q := p.Queues[name]
+			accounted := fr.Completed + fr.TimedOut + uint64(q.QueueLength()) + uint64(q.InFlight())
+			if fr.Arrivals != accounted {
+				t.Errorf("trial %d: %s conservation: %d arrivals vs %d accounted",
+					trial, name, fr.Arrivals, accounted)
+			}
+		}
+	}
+}
+
+func hasFunc(cfgs []FunctionConfig, name string) bool {
+	for _, c := range cfgs {
+		if c.Spec.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceDrivenRun exercises the Azure-trace path end to end through
+// the platform config.
+func TestTraceDrivenRun(t *testing.T) {
+	counts := []float64{600, 1200, 300, 0, 900} // per-minute
+	wl, err := workload.FromPerMinuteCounts(counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := functions.ByName("geofence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Cluster:    cluster.PaperCluster(),
+		Controller: controller.Config{MinContainers: 1},
+		Seed:       9,
+		Functions:  []FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(5 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Functions[spec.Name]
+	// Expected arrivals: sum of counts = 3000 (±5σ).
+	if fr.Arrivals < 2700 || fr.Arrivals > 3300 {
+		t.Errorf("arrivals=%d want ~3000", fr.Arrivals)
+	}
+	// Minute 3 is silent: no arrivals between 3:00 and 4:00.
+	if fr.Completed == 0 {
+		t.Error("nothing completed")
+	}
+}
+
+// TestLearnerIntegration verifies the data path feeds the online
+// service-time learner (§5) through the platform wiring.
+func TestLearnerIntegration(t *testing.T) {
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	wl, err := workload.NewStatic(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Cluster:   cluster.PaperCluster(),
+		Seed:      10,
+		Functions: []FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := p.Controller.Function(spec.Name)
+	if !ok {
+		t.Fatal("function missing")
+	}
+	if f.Learner().Observations() < 1000 {
+		t.Errorf("learner saw only %d completions", f.Learner().Observations())
+	}
+	mean, ok := f.Learner().MeanServiceTime(1.0)
+	if !ok {
+		t.Fatal("no learned estimate")
+	}
+	// The learner's EWMA (alpha=0.05) over exponential samples has
+	// stddev ~16ms around the true 100ms mean; accept a wide band.
+	if mean < 60*time.Millisecond || mean > 150*time.Millisecond {
+		t.Errorf("learned mean %v want ~100ms", mean)
+	}
+}
+
+// TestPredictorIntegration attaches a trend predictor through the
+// platform and checks it beats the purely reactive estimator on a steep
+// ramp (the reactive long window lags the ramp by construction; the
+// predictor's extrapolation compensates).
+func TestPredictorIntegration(t *testing.T) {
+	run := func(withPredictor bool) float64 {
+		spec := functions.MicroBenchmark(100 * time.Millisecond)
+		wl, err := workload.NewRamp(5, 50, 0, 4*time.Minute, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := New(Config{
+			Cluster:   cluster.PaperCluster(),
+			Seed:      11,
+			Functions: []FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withPredictor {
+			pred, err := controller.NewTrendPredictor(12, 1.0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Controller.SetPredictor(spec.Name, pred); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := p.Run(4 * time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Functions[spec.Name].SLO.Attainment()
+	}
+	reactive := run(false)
+	predicted := run(true)
+	if predicted < reactive {
+		t.Errorf("trend predictor attainment %.3f below reactive %.3f on a ramp", predicted, reactive)
+	}
+}

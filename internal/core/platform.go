@@ -1,0 +1,274 @@
+// Package core assembles the complete LaSS platform over the simulated
+// edge cluster: workload generators feed per-function dispatch queues, the
+// controller observes arrivals and reconciles container pools every
+// evaluation interval, and metrics are collected for the experiment
+// harnesses.
+//
+// This is the simulation counterpart of the paper's modified-OpenWhisk
+// deployment (Fig 2b): the control path (controller → cluster) and the
+// data path (load balancer → containers) are separated exactly as the
+// prototype separates them.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/dispatch"
+	"lass/internal/functions"
+	"lass/internal/metrics"
+	"lass/internal/queuing"
+	"lass/internal/sim"
+	"lass/internal/workload"
+	"lass/internal/xrand"
+)
+
+// FunctionConfig registers one function and its offered workload.
+type FunctionConfig struct {
+	Spec     functions.Spec
+	SLO      queuing.SLO        // zero → controller default
+	Weight   float64            // zero → spec default
+	User     string             // optional namespace (two-level shares)
+	Workload *workload.Schedule // nil → no generated arrivals
+	Prewarm  int                // containers provisioned before t=0
+	// TimeLimit is the FaaS hard execution limit (§2.1); zero disables.
+	TimeLimit time.Duration
+}
+
+// Config describes a complete platform.
+type Config struct {
+	Cluster    cluster.Config
+	Controller controller.Config
+	Seed       uint64
+	Users      map[string]float64 // namespace weights (§5)
+	Functions  []FunctionConfig
+	// RecordEvery is the sampling interval for allocation/utilization
+	// time series (default: the controller's evaluation interval).
+	RecordEvery time.Duration
+	// DisableController freezes allocations after prewarm — used by the
+	// model-validation experiments that measure a fixed pool (Fig 3).
+	DisableController bool
+}
+
+// FunctionResult aggregates one function's measurements over a run.
+type FunctionResult struct {
+	Name       string
+	Waits      *metrics.Reservoir
+	Responses  *metrics.Reservoir
+	SLO        *metrics.SLOTracker
+	Completed  uint64
+	Requeued   uint64
+	TimedOut   uint64
+	Arrivals   uint64
+	Containers *metrics.Series // live container count over time
+	CPU        *metrics.Series // live CPU (millicores) over time
+	LambdaHat  *metrics.Series // controller's rate estimate over time
+	Desired    *metrics.Series // model's desired container count
+}
+
+// Result is the outcome of a platform run.
+type Result struct {
+	Duration       time.Duration
+	Functions      map[string]*FunctionResult
+	Utilization    float64         // time-weighted mean cluster CPU utilization
+	UtilizationTS  *metrics.Series // utilization over time
+	ControllerOps  controller.Stats
+	LargestFreeEnd int64
+}
+
+// Platform is the assembled simulated LaSS deployment.
+type Platform struct {
+	Engine     *sim.Engine
+	Cluster    *cluster.Cluster
+	Controller *controller.Controller
+	Queues     map[string]*dispatch.Queue
+
+	cfg     Config
+	rng     *xrand.Rand
+	results map[string]*FunctionResult
+	utilTWA *metrics.TimeWeightedAverage
+	utilTS  *metrics.Series
+	runErr  error
+}
+
+// New assembles a platform from the configuration.
+func New(cfg Config) (*Platform, error) {
+	engine := sim.NewEngine()
+	cl, err := cluster.New(cfg.Cluster)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Engine:  engine,
+		Cluster: cl,
+		Queues:  make(map[string]*dispatch.Queue),
+		cfg:     cfg,
+		rng:     xrand.New(cfg.Seed ^ 0x1a55),
+		results: make(map[string]*FunctionResult),
+		utilTWA: metrics.NewTimeWeightedAverage(),
+		utilTS:  metrics.NewSeries("utilization"),
+	}
+	hooks := controller.Hooks{
+		Now: engine.Now,
+		ScheduleColdStart: func(c *cluster.Container, delay time.Duration, ready func()) {
+			engine.After(delay, ready)
+		},
+		OnReady: func(c *cluster.Container) {
+			if q, ok := p.Queues[c.Function]; ok {
+				if err := q.AddContainer(c); err != nil && p.runErr == nil {
+					p.runErr = err
+				}
+			}
+		},
+		OnRemove: func(c *cluster.Container) {
+			if q, ok := p.Queues[c.Function]; ok && q.Has(c) {
+				if err := q.RemoveContainer(c); err != nil && p.runErr == nil {
+					p.runErr = err
+				}
+			}
+		},
+		OnResize: func(c *cluster.Container) {}, // WRR reads CPU live
+	}
+	ctl, err := controller.New(cfg.Controller, cl, hooks)
+	if err != nil {
+		return nil, err
+	}
+	p.Controller = ctl
+	for name, w := range cfg.Users {
+		if err := ctl.RegisterUser(name, w); err != nil {
+			return nil, err
+		}
+	}
+	for _, fc := range cfg.Functions {
+		f, err := ctl.Register(fc.Spec, fc.User, fc.Weight, fc.SLO)
+		if err != nil {
+			return nil, err
+		}
+		slo := f.SLO
+		q, err := dispatch.NewQueue(engine, fc.Spec, slo.Deadline, p.rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		learner := f.Learner()
+		q.OnComplete = func(frac float64, s time.Duration) {
+			learner.Observe(frac, s)
+		}
+		q.TimeLimit = fc.TimeLimit
+		p.Queues[fc.Spec.Name] = q
+		p.results[fc.Spec.Name] = &FunctionResult{
+			Name:       fc.Spec.Name,
+			Containers: metrics.NewSeries(fc.Spec.Name + "/containers"),
+			CPU:        metrics.NewSeries(fc.Spec.Name + "/cpu"),
+			LambdaHat:  metrics.NewSeries(fc.Spec.Name + "/lambda"),
+			Desired:    metrics.NewSeries(fc.Spec.Name + "/desired"),
+		}
+	}
+	// Prewarm pools before the run starts.
+	for _, fc := range cfg.Functions {
+		if fc.Prewarm > 0 {
+			if err := ctl.Provision(fc.Spec.Name, fc.Prewarm); err != nil {
+				return nil, fmt.Errorf("core: prewarm %s: %w", fc.Spec.Name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// startArrivals launches the Poisson arrival chain for one function.
+func (p *Platform) startArrivals(fc FunctionConfig) {
+	if fc.Workload == nil {
+		return
+	}
+	arr := workload.NewArrivals(fc.Workload, p.rng.Fork())
+	name := fc.Spec.Name
+	res := p.results[name]
+	var fire func(at time.Duration)
+	fire = func(at time.Duration) {
+		p.Engine.Schedule(at, func() {
+			res.Arrivals++
+			p.Controller.RecordArrival(name)
+			p.Queues[name].Arrive()
+			if next, ok := arr.Next(p.Engine.Now()); ok {
+				fire(next)
+			}
+		})
+	}
+	if first, ok := arr.Next(0); ok {
+		fire(first)
+	}
+}
+
+// record samples the allocation and utilization series.
+func (p *Platform) record() {
+	now := p.Engine.Now()
+	util := p.Cluster.CPUUtilization()
+	p.utilTWA.Set(now, util)
+	p.utilTS.Record(now, util)
+	for name, res := range p.results {
+		live := 0
+		var cpu int64
+		for _, c := range p.Cluster.ContainersOf(name) {
+			if c.State() == cluster.Starting || c.State() == cluster.Running {
+				live++
+				cpu += c.CPUCurrent
+			}
+		}
+		res.Containers.Record(now, float64(live))
+		res.CPU.Record(now, float64(cpu))
+		if f, ok := p.Controller.Function(name); ok {
+			res.LambdaHat.Record(now, f.LambdaHat)
+			res.Desired.Record(now, float64(f.Desired))
+		}
+	}
+}
+
+// Run simulates the platform for the given duration and returns the
+// collected results.
+func (p *Platform) Run(duration time.Duration) (*Result, error) {
+	for _, fc := range p.cfg.Functions {
+		p.startArrivals(fc)
+	}
+	if !p.cfg.DisableController {
+		interval := p.Controller.Config().EvalInterval
+		p.Engine.Every(interval, func() {
+			if p.runErr != nil {
+				return
+			}
+			if err := p.Controller.Step(); err != nil {
+				p.runErr = err
+			}
+		})
+	}
+	recordEvery := p.cfg.RecordEvery
+	if recordEvery == 0 {
+		recordEvery = p.Controller.Config().EvalInterval
+	}
+	p.record()
+	p.Engine.Every(recordEvery, p.record)
+	p.Engine.RunUntil(duration)
+	if p.runErr != nil {
+		return nil, p.runErr
+	}
+	p.record()
+	res := &Result{
+		Duration:       duration,
+		Functions:      make(map[string]*FunctionResult, len(p.results)),
+		Utilization:    p.utilTWA.Mean(duration),
+		UtilizationTS:  p.utilTS,
+		ControllerOps:  p.Controller.Stats(),
+		LargestFreeEnd: p.Cluster.LargestFreeCPU(),
+	}
+	for name, r := range p.results {
+		q := p.Queues[name]
+		r.Waits = q.Waits
+		r.Responses = q.Responses
+		r.SLO = q.SLO
+		r.Completed = q.Completed()
+		r.Requeued = q.Requeued()
+		r.TimedOut = q.TimedOut()
+		res.Functions[name] = r
+	}
+	return res, nil
+}

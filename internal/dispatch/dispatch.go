@@ -1,0 +1,274 @@
+// Package dispatch implements LaSS's data path (paper §5, Fig 2b): each
+// function has a FCFS request queue, and a weighted-round-robin load
+// balancer assigns queued requests to idle containers, weighting each
+// container by its current CPU allocation so deflated containers receive
+// proportionally less work ("Knowing all the containers and their size
+// information, the load balancer uses the weighted round robin (WRR)
+// algorithm to directly schedule function invocation requests to each
+// individual container").
+//
+// The package runs inside the discrete-event simulation: service
+// completions are events on the engine. Waiting time (arrival → dispatch)
+// and response time (arrival → completion) are recorded per request, which
+// is exactly the P95-waiting-time metric of Figs 3 and 4.
+package dispatch
+
+import (
+	"fmt"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/functions"
+	"lass/internal/metrics"
+	"lass/internal/sim"
+	"lass/internal/xrand"
+)
+
+// Request is one function invocation traveling through the data path.
+type Request struct {
+	ID       uint64
+	Function string
+	Arrival  time.Duration
+	Start    time.Duration // when service began (valid once started)
+	Finish   time.Duration // when service completed (valid once done)
+	Requeues int           // times the request was bounced by a container termination
+}
+
+// Wait returns the queueing delay.
+func (r *Request) Wait() time.Duration { return r.Start - r.Arrival }
+
+// Response returns the end-to-end latency.
+func (r *Request) Response() time.Duration { return r.Finish - r.Arrival }
+
+// wrrEntry is the smooth-WRR bookkeeping for one container.
+type wrrEntry struct {
+	c        *cluster.Container
+	current  float64
+	busy     bool
+	inflight *Request
+	done     *sim.Event
+}
+
+// Queue is the per-function dispatcher.
+type Queue struct {
+	engine *sim.Engine
+	spec   functions.Spec
+	rng    *xrand.Rand
+
+	fifo    []*Request
+	entries map[cluster.ContainerID]*wrrEntry
+	nextID  uint64
+
+	// Waits and Responses collect per-request timing; SLO tracks the
+	// waiting-time deadline the evaluation provisions against.
+	Waits     *metrics.Reservoir
+	Responses *metrics.Reservoir
+	SLO       *metrics.SLOTracker
+
+	// OnComplete, when set, observes every completion (container CPU
+	// fraction, sampled service time): the hook the online service-time
+	// learner attaches to.
+	OnComplete func(cpuFraction float64, service time.Duration)
+
+	// TimeLimit is the FaaS hard execution limit (§2.1: "the computation
+	// is terminated if it does not complete execution within this
+	// limit"). Zero disables. A timed-out request frees its container
+	// and counts in TimedOut instead of Completed.
+	TimeLimit time.Duration
+
+	completed uint64
+	requeued  uint64
+	timedOut  uint64
+}
+
+// NewQueue builds a dispatcher for one function. sloDeadline bounds the
+// waiting time (§6.1's default: P95 wait ≤ 100 ms).
+func NewQueue(engine *sim.Engine, spec functions.Spec, sloDeadline time.Duration, rng *xrand.Rand) (*Queue, error) {
+	if engine == nil || rng == nil {
+		return nil, fmt.Errorf("dispatch: nil engine or rng")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Queue{
+		engine:    engine,
+		spec:      spec,
+		rng:       rng,
+		entries:   make(map[cluster.ContainerID]*wrrEntry),
+		Waits:     metrics.NewReservoir(),
+		Responses: metrics.NewReservoir(),
+		SLO:       metrics.NewSLOTracker(sloDeadline),
+	}, nil
+}
+
+// Spec returns the function spec this queue serves.
+func (q *Queue) Spec() functions.Spec { return q.spec }
+
+// QueueLength returns the number of requests waiting (not in service).
+func (q *Queue) QueueLength() int { return len(q.fifo) }
+
+// InFlight returns the number of requests currently in service.
+func (q *Queue) InFlight() int {
+	n := 0
+	for _, e := range q.entries {
+		if e.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// Completed returns the number of requests finished.
+func (q *Queue) Completed() uint64 { return q.completed }
+
+// TimedOut returns the number of requests killed by the hard execution
+// time limit.
+func (q *Queue) TimedOut() uint64 { return q.timedOut }
+
+// Requeued returns the number of requeue events caused by container
+// terminations (the paper counts these as a cost of the termination
+// policy, §6.7: "fewer requests that need to be rerun").
+func (q *Queue) Requeued() uint64 { return q.requeued }
+
+// Containers returns the number of containers attached to the queue.
+func (q *Queue) Containers() int { return len(q.entries) }
+
+// IdleContainers returns the number of attached, non-busy containers.
+func (q *Queue) IdleContainers() int {
+	n := 0
+	for _, e := range q.entries {
+		if !e.busy {
+			n++
+		}
+	}
+	return n
+}
+
+// AddContainer attaches a servable container to the load balancer.
+func (q *Queue) AddContainer(c *cluster.Container) error {
+	if c.Function != q.spec.Name {
+		return fmt.Errorf("dispatch: container %d belongs to %s, not %s", c.ID, c.Function, q.spec.Name)
+	}
+	if !c.Servable() {
+		return fmt.Errorf("dispatch: container %d is %v, not servable", c.ID, c.State())
+	}
+	if _, dup := q.entries[c.ID]; dup {
+		return fmt.Errorf("dispatch: container %d already attached", c.ID)
+	}
+	q.entries[c.ID] = &wrrEntry{c: c}
+	q.pump()
+	return nil
+}
+
+// RemoveContainer detaches a container. If a request is in flight on it,
+// the request is aborted and requeued at the head of the FIFO (it keeps its
+// original arrival time, so its eventual waiting time reflects the rerun
+// cost the paper attributes to termination).
+func (q *Queue) RemoveContainer(c *cluster.Container) error {
+	e, ok := q.entries[c.ID]
+	if !ok {
+		return fmt.Errorf("dispatch: container %d not attached", c.ID)
+	}
+	delete(q.entries, c.ID)
+	if e.busy && e.inflight != nil {
+		e.done.Cancel()
+		r := e.inflight
+		r.Requeues++
+		q.requeued++
+		q.fifo = append([]*Request{r}, q.fifo...)
+	}
+	q.pump()
+	return nil
+}
+
+// Has reports whether the container is attached.
+func (q *Queue) Has(c *cluster.Container) bool {
+	_, ok := q.entries[c.ID]
+	return ok
+}
+
+// Arrive enqueues a new invocation at the current simulation time and
+// dispatches immediately if a container is idle.
+func (q *Queue) Arrive() *Request {
+	q.nextID++
+	r := &Request{ID: q.nextID, Function: q.spec.Name, Arrival: q.engine.Now()}
+	q.fifo = append(q.fifo, r)
+	q.pump()
+	return r
+}
+
+// selectIdle picks the idle container by smooth weighted round-robin with
+// weights equal to current CPU allocation. Returns nil when all busy.
+func (q *Queue) selectIdle() *wrrEntry {
+	var total float64
+	var best *wrrEntry
+	for _, e := range q.entries {
+		if e.busy {
+			continue
+		}
+		w := float64(e.c.CPUCurrent)
+		e.current += w
+		total += w
+		if best == nil || e.current > best.current ||
+			// Deterministic tie-break on container ID.
+			(e.current == best.current && e.c.ID < best.c.ID) {
+			best = e
+		}
+	}
+	if best != nil {
+		best.current -= total
+	}
+	return best
+}
+
+// pump dispatches queued requests onto idle containers until one side runs
+// out.
+func (q *Queue) pump() {
+	for len(q.fifo) > 0 {
+		e := q.selectIdle()
+		if e == nil {
+			return
+		}
+		r := q.fifo[0]
+		q.fifo = q.fifo[1:]
+		q.start(e, r)
+	}
+}
+
+// start begins service for r on e's container.
+func (q *Queue) start(e *wrrEntry, r *Request) {
+	now := q.engine.Now()
+	r.Start = now
+	q.Waits.AddDuration(r.Wait())
+	q.SLO.Observe(r.Wait())
+	frac := e.c.CPUFraction()
+	service := q.spec.SampleServiceTime(q.rng, frac)
+	if q.TimeLimit > 0 && service > q.TimeLimit {
+		// The platform kills the execution at the hard limit (§2.1); the
+		// container is occupied for the full limit, then freed.
+		e.busy = true
+		e.inflight = r
+		e.done = q.engine.After(q.TimeLimit, func() {
+			e.busy = false
+			e.inflight = nil
+			e.done = nil
+			q.timedOut++
+			q.pump()
+		})
+		return
+	}
+	e.busy = true
+	e.inflight = r
+	e.done = q.engine.After(service, func() {
+		e.busy = false
+		e.inflight = nil
+		e.done = nil
+		r.Finish = q.engine.Now()
+		q.Responses.AddDuration(r.Response())
+		q.completed++
+		if q.OnComplete != nil {
+			q.OnComplete(frac, service)
+		}
+		q.pump()
+	})
+}

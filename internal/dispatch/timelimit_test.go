@@ -1,0 +1,99 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/functions"
+	"lass/internal/sim"
+	"lass/internal/xrand"
+)
+
+func TestTimeLimitKillsLongExecutions(t *testing.T) {
+	engine := sim.NewEngine()
+	cl, err := cluster.New(cluster.PaperCluster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := functions.MicroBenchmark(100 * time.Millisecond) // exponential service
+	q, err := NewQueue(engine, spec, 100*time.Millisecond, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.TimeLimit = 100 * time.Millisecond // exp(mean 100ms): ~37% exceed
+	c, err := cl.Place(spec.Name, spec.CPUMillis, spec.MemoryMiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.MarkRunning(c)
+	q.AddContainer(c)
+
+	n := 5000
+	for i := 0; i < n; i++ {
+		engine.Schedule(time.Duration(i)*time.Second, func() { q.Arrive() })
+	}
+	engine.Run()
+	total := q.Completed() + q.TimedOut()
+	if total != uint64(n) {
+		t.Fatalf("accounted %d of %d requests", total, n)
+	}
+	frac := float64(q.TimedOut()) / float64(n)
+	// P(exp(0.1) > 0.1) = e^-1 ≈ 0.368.
+	if frac < 0.33 || frac < 0.30 || frac > 0.42 {
+		t.Errorf("timeout fraction %.3f want ~0.368", frac)
+	}
+	// Completed requests' responses never exceed wait+limit; with zero
+	// wait here, response <= limit.
+	if max := q.Responses.Max(); max > 0.1 {
+		t.Errorf("a completed request took %.3fs > limit", max)
+	}
+}
+
+func TestTimeLimitZeroDisables(t *testing.T) {
+	engine := sim.NewEngine()
+	cl, _ := cluster.New(cluster.PaperCluster())
+	spec := functions.MicroBenchmark(100 * time.Millisecond)
+	q, err := NewQueue(engine, spec, 100*time.Millisecond, xrand.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cl.Place(spec.Name, spec.CPUMillis, spec.MemoryMiB)
+	cl.MarkRunning(c)
+	q.AddContainer(c)
+	for i := 0; i < 500; i++ {
+		engine.Schedule(time.Duration(i)*time.Second, func() { q.Arrive() })
+	}
+	engine.Run()
+	if q.TimedOut() != 0 {
+		t.Errorf("timeouts with no limit: %d", q.TimedOut())
+	}
+	if q.Completed() != 500 {
+		t.Errorf("completed=%d", q.Completed())
+	}
+}
+
+func TestTimeLimitFreesContainerAtLimit(t *testing.T) {
+	// A request that would run 10s under a 50ms limit must release its
+	// container at 50ms, not at 10s.
+	engine := sim.NewEngine()
+	cl, _ := cluster.New(cluster.PaperCluster())
+	spec := functions.MicroBenchmark(10 * time.Second)
+	spec.SCV = 0 // deterministic 10s service
+	q, err := NewQueue(engine, spec, time.Second, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.TimeLimit = 50 * time.Millisecond
+	c, _ := cl.Place(spec.Name, spec.CPUMillis, spec.MemoryMiB)
+	cl.MarkRunning(c)
+	q.AddContainer(c)
+	q.Arrive()
+	engine.RunUntil(60 * time.Millisecond)
+	if q.TimedOut() != 1 {
+		t.Fatalf("timedOut=%d", q.TimedOut())
+	}
+	if q.IdleContainers() != 1 {
+		t.Error("container not freed at the limit")
+	}
+}

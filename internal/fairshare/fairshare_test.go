@@ -1,0 +1,417 @@
+package fairshare
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lass/internal/xrand"
+)
+
+func TestNoOverloadEveryoneGetsDesired(t *testing.T) {
+	demands := []Demand{
+		{ID: "a", Weight: 1, Desired: 300},
+		{ID: "b", Weight: 2, Desired: 500},
+	}
+	allocs, err := Adjust(demands, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range allocs {
+		if a.Adjusted != demands[i].Desired {
+			t.Errorf("%s: adjusted %d want %d", a.ID, a.Adjusted, demands[i].Desired)
+		}
+		if a.Overloaded {
+			t.Errorf("%s marked overloaded without pressure", a.ID)
+		}
+	}
+}
+
+func TestGuaranteedSharesEq7(t *testing.T) {
+	demands := []Demand{
+		{ID: "a", Weight: 1, Desired: 0},
+		{ID: "b", Weight: 2, Desired: 0},
+	}
+	g, err := GuaranteedShares(demands, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g["a"] != 333 || g["b"] != 666 {
+		t.Errorf("shares %v want a=333 b=666", g)
+	}
+}
+
+func TestLemma1AllOverloadedGetExactGuarantee(t *testing.T) {
+	// Lemma 1: when every function is overloaded, each receives exactly
+	// its guaranteed share.
+	demands := []Demand{
+		{ID: "a", Weight: 1, Desired: 900},
+		{ID: "b", Weight: 1, Desired: 800},
+		{ID: "c", Weight: 2, Desired: 2000},
+	}
+	allocs, err := Adjust(demands, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range allocs {
+		if !a.Overloaded {
+			t.Errorf("%s should be overloaded", a.ID)
+		}
+		if a.Adjusted != a.Guaranteed {
+			t.Errorf("%s: adjusted %d != guaranteed %d", a.ID, a.Adjusted, a.Guaranteed)
+		}
+	}
+}
+
+func TestLemma2OverloadedGetAtLeastGuarantee(t *testing.T) {
+	demands := []Demand{
+		{ID: "small", Weight: 1, Desired: 50}, // well-behaved (guar = 333)
+		{ID: "big1", Weight: 1, Desired: 600}, // overloaded
+		{ID: "big2", Weight: 1, Desired: 900}, // overloaded
+	}
+	allocs, err := Adjust(demands, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Allocation{}
+	for _, a := range allocs {
+		byID[a.ID] = a
+	}
+	if byID["small"].Adjusted != 50 {
+		t.Errorf("well-behaved got %d want 50", byID["small"].Adjusted)
+	}
+	for _, id := range []string{"big1", "big2"} {
+		a := byID[id]
+		if a.Adjusted < a.Guaranteed {
+			t.Errorf("%s: adjusted %d < guaranteed %d", id, a.Adjusted, a.Guaranteed)
+		}
+	}
+	// Remaining 950 split evenly: 475 each.
+	if byID["big1"].Adjusted != 475 || byID["big2"].Adjusted != 475 {
+		t.Errorf("split %d/%d want 475/475", byID["big1"].Adjusted, byID["big2"].Adjusted)
+	}
+}
+
+func TestAdjustNeverExceedsCapacity(t *testing.T) {
+	rng := xrand.New(99)
+	f := func(n uint8, capRaw uint16) bool {
+		k := int(n%6) + 1
+		capacity := int64(capRaw%5000) + 100
+		demands := make([]Demand, k)
+		for i := range demands {
+			demands[i] = Demand{
+				ID:      string(rune('a' + i)),
+				Weight:  float64(rng.Intn(5) + 1),
+				Desired: int64(rng.Intn(3000)),
+			}
+		}
+		allocs, err := Adjust(demands, capacity)
+		if err != nil {
+			return false
+		}
+		var sumDesired, sumAdjusted int64
+		for i, a := range allocs {
+			sumDesired += demands[i].Desired
+			sumAdjusted += a.Adjusted
+			if a.Adjusted < 0 {
+				return false
+			}
+		}
+		if sumDesired <= capacity {
+			return sumAdjusted == sumDesired
+		}
+		return sumAdjusted <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLemma2Property(t *testing.T) {
+	rng := xrand.New(7)
+	f := func(n uint8, capRaw uint16) bool {
+		k := int(n%6) + 2
+		capacity := int64(capRaw%5000) + 500
+		demands := make([]Demand, k)
+		for i := range demands {
+			demands[i] = Demand{
+				ID:      string(rune('a' + i)),
+				Weight:  float64(rng.Intn(4) + 1),
+				Desired: int64(rng.Intn(4000)),
+			}
+		}
+		allocs, err := Adjust(demands, capacity)
+		if err != nil {
+			return false
+		}
+		var sumDesired int64
+		for _, d := range demands {
+			sumDesired += d.Desired
+		}
+		if sumDesired <= capacity {
+			return true // no overload: lemma not in play
+		}
+		for _, a := range allocs {
+			if a.Overloaded && a.Adjusted < a.Guaranteed {
+				return false
+			}
+			if !a.Overloaded && a.Adjusted != a.Desired {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAdjustCappedNeverExceedsDesire(t *testing.T) {
+	// One well-behaved function frees most of the cluster; Eq 8 would give
+	// the barely-overloaded function more than it wants.
+	demands := []Demand{
+		{ID: "tiny", Weight: 1, Desired: 20},      // guar 333
+		{ID: "justover", Weight: 1, Desired: 340}, // guar 333, overloaded
+		{ID: "huge", Weight: 1, Desired: 5000},    // overloaded
+	}
+	capacity := int64(1000)
+	raw, err := Adjust(demands, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm the pathology exists in the faithful algorithm: Ĉ = 980,
+	// justover's Eq 8 share is 490 > desired 340.
+	for _, a := range raw {
+		if a.ID == "justover" && a.Adjusted <= a.Desired {
+			t.Fatalf("test premise broken: raw adjusted %d", a.Adjusted)
+		}
+	}
+	capped, err := AdjustCapped(demands, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Allocation{}
+	var total int64
+	for _, a := range capped {
+		byID[a.ID] = a
+		total += a.Adjusted
+		if a.Adjusted > a.Desired {
+			t.Errorf("%s: capped alloc %d exceeds desire %d", a.ID, a.Adjusted, a.Desired)
+		}
+		if a.Overloaded && a.Adjusted < a.Guaranteed {
+			t.Errorf("%s: capped alloc %d below guarantee %d", a.ID, a.Adjusted, a.Guaranteed)
+		}
+	}
+	if total > capacity {
+		t.Errorf("capped total %d exceeds capacity", total)
+	}
+	// The surplus (490-340=150) must flow to the unsatisfied function.
+	if byID["huge"].Adjusted <= byID["justover"].Guaranteed {
+		t.Errorf("surplus not redistributed: huge=%d", byID["huge"].Adjusted)
+	}
+	if byID["huge"].Adjusted != 490+150 {
+		t.Errorf("huge got %d want 640", byID["huge"].Adjusted)
+	}
+}
+
+func TestQuickAdjustCappedDominatesForUtilization(t *testing.T) {
+	// Capped allocation never leaves more capacity unused than the
+	// faithful algorithm when demand exceeds supply, and never allocates
+	// above desire.
+	rng := xrand.New(13)
+	f := func(n uint8, capRaw uint16) bool {
+		k := int(n%5) + 2
+		capacity := int64(capRaw%4000) + 500
+		demands := make([]Demand, k)
+		for i := range demands {
+			demands[i] = Demand{
+				ID:      string(rune('a' + i)),
+				Weight:  float64(rng.Intn(4) + 1),
+				Desired: int64(rng.Intn(3000)),
+			}
+		}
+		raw, err1 := Adjust(demands, capacity)
+		capped, err2 := AdjustCapped(demands, capacity)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		var rawUseful, cappedUsed int64
+		for i := range raw {
+			u := raw[i].Adjusted
+			if u > raw[i].Desired {
+				u = raw[i].Desired // over-allocation is not useful capacity
+			}
+			rawUseful += u
+			cappedUsed += capped[i].Adjusted
+			if capped[i].Adjusted > capped[i].Desired {
+				return false
+			}
+		}
+		return cappedUsed >= rawUseful
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Adjust([]Demand{{ID: "a", Weight: 0, Desired: 1}}, 10); err == nil {
+		t.Error("want error for zero weight")
+	}
+	if _, err := Adjust([]Demand{{ID: "a", Weight: 1, Desired: -1}}, 10); err == nil {
+		t.Error("want error for negative desire")
+	}
+	if _, err := Adjust([]Demand{{ID: "a", Weight: 1}, {ID: "a", Weight: 1}}, 10); err == nil {
+		t.Error("want error for duplicate ids")
+	}
+	if _, err := Adjust(nil, -1); err == nil {
+		t.Error("want error for negative capacity")
+	}
+}
+
+func TestAllocateTreeTwoLevels(t *testing.T) {
+	// The paper's experiment (§6.7): two users, user2 weight twice user1.
+	// Under full overload user1's functions share ~1/3 of the cluster and
+	// user2's share ~2/3.
+	root := &Node{ID: "cluster", Weight: 1, Children: []*Node{
+		{ID: "user1", Weight: 1, Children: []*Node{
+			{ID: "f1", Weight: 1, Desired: 4000},
+			{ID: "f2", Weight: 1, Desired: 4000},
+		}},
+		{ID: "user2", Weight: 2, Children: []*Node{
+			{ID: "f3", Weight: 1, Desired: 4000},
+			{ID: "f4", Weight: 1, Desired: 4000},
+		}},
+	}}
+	got, err := AllocateTree(root, 3000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u1 := got["f1"] + got["f2"]
+	u2 := got["f3"] + got["f4"]
+	if u1 < 900 || u1 > 1000 {
+		t.Errorf("user1 total %d want ~1000", u1)
+	}
+	if u2 < 1900 || u2 > 2000 {
+		t.Errorf("user2 total %d want ~2000", u2)
+	}
+}
+
+func TestAllocateTreeLeafRespectsDesire(t *testing.T) {
+	root := &Node{ID: "cluster", Weight: 1, Children: []*Node{
+		{ID: "idle", Weight: 1, Desired: 10},
+		{ID: "busy", Weight: 1, Desired: 900},
+	}}
+	got, err := AllocateTree(root, 1000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["idle"] != 10 {
+		t.Errorf("idle leaf granted %d want 10", got["idle"])
+	}
+	if got["busy"] != 900 {
+		t.Errorf("busy leaf granted %d want 900", got["busy"])
+	}
+}
+
+func TestAllocateTreeThreeLevels(t *testing.T) {
+	// Arbitrary-depth support (§5 "can be extended to ... arbitrary levels").
+	root := &Node{ID: "root", Weight: 1, Children: []*Node{
+		{ID: "org1", Weight: 1, Children: []*Node{
+			{ID: "team1", Weight: 3, Children: []*Node{
+				{ID: "g1", Weight: 1, Desired: 10000},
+			}},
+			{ID: "team2", Weight: 1, Children: []*Node{
+				{ID: "g2", Weight: 1, Desired: 10000},
+			}},
+		}},
+		{ID: "org2", Weight: 1, Children: []*Node{
+			{ID: "g3", Weight: 1, Desired: 10000},
+		}},
+	}}
+	got, err := AllocateTree(root, 4000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["g3"] != 2000 {
+		t.Errorf("g3=%d want 2000", got["g3"])
+	}
+	if got["g1"] != 1500 || got["g2"] != 500 {
+		t.Errorf("g1=%d g2=%d want 1500/500", got["g1"], got["g2"])
+	}
+}
+
+func TestAllocateTreeErrors(t *testing.T) {
+	if _, err := AllocateTree(nil, 100, false); err == nil {
+		t.Error("want error for nil tree")
+	}
+	dup := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "x", Weight: 1, Desired: 1},
+		{ID: "x", Weight: 1, Desired: 1},
+	}}
+	if _, err := AllocateTree(dup, 100, false); err == nil {
+		t.Error("want error for duplicate child ids")
+	}
+	leafDup := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "a", Weight: 1, Children: []*Node{{ID: "x", Weight: 1, Desired: 1}}},
+		{ID: "b", Weight: 1, Children: []*Node{{ID: "x", Weight: 1, Desired: 1}}},
+	}}
+	if _, err := AllocateTree(leafDup, 100, false); err == nil {
+		t.Error("want error for duplicate leaf ids across subtrees")
+	}
+}
+
+func TestUnused(t *testing.T) {
+	allocs := []Allocation{{Adjusted: 300}, {Adjusted: 400}}
+	if u := Unused(allocs, 1000); u != 300 {
+		t.Errorf("unused=%d", u)
+	}
+}
+
+func TestSortByID(t *testing.T) {
+	allocs := []Allocation{{ID: "b"}, {ID: "a"}}
+	s := SortByID(allocs)
+	if s[0].ID != "a" || s[1].ID != "b" {
+		t.Errorf("not sorted: %v", s)
+	}
+	if allocs[0].ID != "b" {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuickTreeConservation(t *testing.T) {
+	// Total granted never exceeds capacity; leaves never exceed desires.
+	rng := xrand.New(31)
+	f := func(capRaw uint16, k uint8) bool {
+		capacity := int64(capRaw%8000) + 100
+		users := int(k%3) + 1
+		root := &Node{ID: "root", Weight: 1}
+		leafID := 0
+		for u := 0; u < users; u++ {
+			user := &Node{ID: string(rune('A' + u)), Weight: float64(rng.Intn(3) + 1)}
+			for f := 0; f < rng.Intn(3)+1; f++ {
+				leafID++
+				user.Children = append(user.Children, &Node{
+					ID:      string(rune('a' + leafID)),
+					Weight:  float64(rng.Intn(3) + 1),
+					Desired: int64(rng.Intn(4000)),
+				})
+			}
+			root.Children = append(root.Children, user)
+		}
+		grants, err := AllocateTree(root, capacity, true)
+		if err != nil {
+			return false
+		}
+		var total int64
+		for _, g := range grants {
+			if g < 0 {
+				return false
+			}
+			total += g
+		}
+		return total <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package functions
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Learner estimates a function's service-time distribution online, the
+// second of the two approaches §5 describes ("use an online learning
+// algorithm to learn the service time distribution(s) over time"). Because
+// deflation produces containers of different sizes with different service
+// rates, observations are bucketed by CPU fraction (decile buckets) and an
+// exponentially weighted moving average is maintained per bucket, alongside
+// an EWMA of the second moment so the controller can derive the SCV needed
+// by the G/G/c extension.
+//
+// Learner is safe for concurrent use: in the real-time runtime completions
+// are observed from many goroutines.
+type Learner struct {
+	mu     sync.Mutex
+	alpha  float64
+	bucket map[int]*ewmaPair
+}
+
+type ewmaPair struct {
+	mean  float64 // seconds
+	m2    float64 // second moment, seconds^2
+	count uint64
+}
+
+// NewLearner returns a learner with the given EWMA smoothing factor
+// (0 < alpha <= 1; higher weights recent observations more).
+func NewLearner(alpha float64) (*Learner, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("functions: learner alpha %v out of (0,1]", alpha)
+	}
+	return &Learner{alpha: alpha, bucket: make(map[int]*ewmaPair)}, nil
+}
+
+// bucketOf maps a CPU fraction to a decile bucket: 0.95 and 1.0 share a
+// bucket, 0.65 and 0.70 share another, and so on.
+func bucketOf(cpuFraction float64) int {
+	if cpuFraction >= 1 {
+		return 10
+	}
+	if cpuFraction <= 0 {
+		return 0
+	}
+	return int(cpuFraction * 10)
+}
+
+// Observe records one completed request's service time for a container
+// running at the given CPU fraction.
+func (l *Learner) Observe(cpuFraction float64, serviceTime time.Duration) {
+	s := serviceTime.Seconds()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucket[bucketOf(cpuFraction)]
+	if b == nil {
+		b = &ewmaPair{mean: s, m2: s * s}
+		l.bucket[bucketOf(cpuFraction)] = b
+	} else {
+		b.mean = l.alpha*s + (1-l.alpha)*b.mean
+		b.m2 = l.alpha*s*s + (1-l.alpha)*b.m2
+	}
+	b.count++
+}
+
+// MeanServiceTime returns the learned mean service time for containers at
+// the given CPU fraction, and whether any observation exists for that
+// bucket.
+func (l *Learner) MeanServiceTime(cpuFraction float64) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucket[bucketOf(cpuFraction)]
+	if b == nil || b.count == 0 {
+		return 0, false
+	}
+	return time.Duration(b.mean * float64(time.Second)), true
+}
+
+// Rate returns the learned service rate μ (req/s) at the given CPU
+// fraction.
+func (l *Learner) Rate(cpuFraction float64) (float64, bool) {
+	m, ok := l.MeanServiceTime(cpuFraction)
+	if !ok || m <= 0 {
+		return 0, false
+	}
+	return 1 / m.Seconds(), true
+}
+
+// SCV returns the learned squared coefficient of variation of the service
+// time at the given CPU fraction.
+func (l *Learner) SCV(cpuFraction float64) (float64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.bucket[bucketOf(cpuFraction)]
+	if b == nil || b.count < 2 || b.mean == 0 {
+		return 0, false
+	}
+	variance := b.m2 - b.mean*b.mean
+	if variance < 0 {
+		variance = 0
+	}
+	return variance / (b.mean * b.mean), true
+}
+
+// Observations returns the total number of samples across all buckets.
+func (l *Learner) Observations() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n uint64
+	for _, b := range l.bucket {
+		n += b.count
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+package queuing_test
+
+import (
+	"fmt"
+	"time"
+
+	"lass/internal/queuing"
+)
+
+// Size a container pool for 40 req/s with 100 ms mean service time so
+// that 95% of requests start service within 100 ms — the paper's
+// Algorithm 1.
+func ExampleMinimalContainers() {
+	slo := queuing.SLO{Deadline: 100 * time.Millisecond, Percentile: 0.95, WaitingOnly: true}
+	c, err := queuing.MinimalContainers(40, 10, slo)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c)
+	// Output: 6
+}
+
+// A pool of three containers deflated to 70% capacity cannot absorb the
+// load alone; the heterogeneous solver (paper §3.2, Alves et al. bounds)
+// reports how many standard containers to add.
+func ExampleAdditionalHetContainers() {
+	slo := queuing.SLO{Deadline: 100 * time.Millisecond, Percentile: 0.95, WaitingOnly: true}
+	deflated := []float64{7, 7, 7} // req/s each (standard is 10)
+	add, err := queuing.AdditionalHetContainers(40, deflated, 10, slo)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(add)
+	// Output: 4
+}
+
+// Steady-state queue metrics of an M/M/c system.
+func ExampleMMC() {
+	m := queuing.MMC{Lambda: 40, Mu: 10, C: 6}
+	pw, _ := m.ErlangC()
+	wq, _ := m.MeanWait()
+	fmt.Printf("P(wait)=%.3f meanWait=%.1fms\n", pw, wq*1000)
+	// Output: P(wait)=0.285 meanWait=14.2ms
+}

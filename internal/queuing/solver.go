@@ -1,0 +1,202 @@
+package queuing
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SLO describes the latency target the solvers provision against, matching
+// the paper's problem statement (§2.3): a high percentile of requests must
+// start service (or complete) within the deadline.
+type SLO struct {
+	// Deadline is the end-to-end target d_i. When WaitingOnly is set the
+	// deadline applies to queueing delay alone (the evaluation's default:
+	// "95% of requests should start being processed within 100 ms", §6.1).
+	Deadline time.Duration
+	// Percentile is the fraction of requests that must meet the deadline,
+	// e.g. 0.95 or 0.99.
+	Percentile float64
+	// WaitingOnly selects whether Deadline bounds just the waiting time
+	// (true) or waiting plus the high-percentile service time (false). In
+	// the latter case the solver uses t = d - 1/μ_p, per §3.1
+	// ("t_p99 = d - 1/μ_p99").
+	WaitingOnly bool
+	// ServiceP is the high-percentile service time (seconds) subtracted
+	// from the deadline when WaitingOnly is false. Zero means "use the
+	// mean service time" as a fallback.
+	ServiceP float64
+}
+
+// WaitBudget returns the waiting-time budget t (seconds) implied by the SLO
+// given the mean service rate mu.
+func (s SLO) WaitBudget(mu float64) (float64, error) {
+	d := s.Deadline.Seconds()
+	if d <= 0 {
+		return 0, fmt.Errorf("queuing: non-positive SLO deadline %v", s.Deadline)
+	}
+	if s.Percentile <= 0 || s.Percentile >= 1 {
+		return 0, fmt.Errorf("queuing: SLO percentile %v out of (0,1)", s.Percentile)
+	}
+	if s.WaitingOnly {
+		return d, nil
+	}
+	sp := s.ServiceP
+	if sp == 0 {
+		if mu <= 0 {
+			return 0, fmt.Errorf("queuing: non-positive service rate %v", mu)
+		}
+		sp = 1 / mu
+	}
+	t := d - sp
+	if t <= 0 {
+		return 0, fmt.Errorf("queuing: SLO deadline %v leaves no waiting budget after service time %.4fs", s.Deadline, sp)
+	}
+	return t, nil
+}
+
+// MaxSolverContainers bounds the container count the solvers will consider
+// before giving up; it is a safety valve against pathological inputs (e.g.
+// deadlines shorter than any achievable wait), not a cluster capacity limit.
+const MaxSolverContainers = 1 << 20
+
+// RequiredContainers implements the paper's Algorithm 1: starting from the
+// current container count (at least the stability minimum), increment c
+// until P(Q ≤ t) ≥ percentile. It returns the smallest such c found by the
+// upward scan.
+//
+// startC is "the number of containers in the system" (Algorithm 1 line 1);
+// pass 0 when sizing from scratch. The returned count is 0 when lambda is 0
+// (an idle function needs no capacity by the model; minimum-pool policy is
+// the controller's concern).
+func RequiredContainers(lambda, mu float64, slo SLO, startC int) (int, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, fmt.Errorf("queuing: invalid rates lambda=%v mu=%v", lambda, mu)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	t, err := slo.WaitBudget(mu)
+	if err != nil {
+		return 0, err
+	}
+	// Stability floor: c must exceed λ/μ.
+	c := int(math.Floor(lambda/mu)) + 1
+	if startC > c {
+		c = startC
+	}
+	for ; c <= MaxSolverContainers; c++ {
+		m := MMC{Lambda: lambda, Mu: mu, C: c}
+		if !m.Stable() {
+			continue
+		}
+		p, err := m.ProbWaitLE(t)
+		if err != nil {
+			return 0, err
+		}
+		if p >= slo.Percentile {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("queuing: no container count up to %d meets SLO (lambda=%v mu=%v t=%vs p=%v)",
+		MaxSolverContainers, lambda, mu, t, slo.Percentile)
+}
+
+// MinimalContainers returns the smallest c ≥ 1 meeting the SLO, regardless
+// of the current allocation. The controller uses it to compute c_new each
+// epoch: unlike Algorithm 1's upward-only scan it also allows scaling down.
+func MinimalContainers(lambda, mu float64, slo SLO) (int, error) {
+	return RequiredContainers(lambda, mu, slo, 0)
+}
+
+// RequiredContainersNaive runs the same Algorithm 1 scan on the naive
+// float64 implementation, returning an error when the arithmetic breaks
+// down. It exists for the Figure 5 scalability/robustness comparison.
+func RequiredContainersNaive(lambda, mu float64, slo SLO, startC int) (int, error) {
+	if lambda <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("queuing: invalid rates lambda=%v mu=%v", lambda, mu)
+	}
+	t, err := slo.WaitBudget(mu)
+	if err != nil {
+		return 0, err
+	}
+	c := int(math.Floor(lambda/mu)) + 1
+	if startC > c {
+		c = startC
+	}
+	for ; c <= MaxSolverContainers; c++ {
+		m := NaiveMMC{Lambda: lambda, Mu: mu, C: c}
+		if lambda/(float64(c)*mu) >= 1 {
+			continue
+		}
+		p := m.ProbWaitLE(t)
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1.0000001 {
+			return 0, fmt.Errorf("queuing: naive evaluation lost precision at c=%d (p=%v)", c, p)
+		}
+		if p >= slo.Percentile {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("queuing: naive scan exhausted")
+}
+
+// AdditionalHetContainers sizes a heterogeneous pool (paper §3.2): given the
+// service rates of the containers already running (possibly deflated) and
+// the service rate a newly created standard container would have, it returns
+// how many standard containers must be added so that the Alves worst-case
+// bound on P(Q ≤ t) reaches the SLO percentile. existing may be empty.
+func AdditionalHetContainers(lambda float64, existing []float64, newRate float64, slo SLO) (int, error) {
+	if lambda < 0 || newRate <= 0 {
+		return 0, fmt.Errorf("queuing: invalid rates lambda=%v newRate=%v", lambda, newRate)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	// Waiting budget from the mean rate of the would-be pool; the
+	// controller passes WaitingOnly SLOs in the evaluation so this only
+	// matters for end-to-end deadlines.
+	t, err := slo.WaitBudget(newRate)
+	if err != nil {
+		return 0, err
+	}
+	rates := append([]float64(nil), existing...)
+	for add := 0; ; add++ {
+		if len(rates) > 0 {
+			h, err := NewHetMMC(lambda, rates)
+			if err != nil {
+				return 0, err
+			}
+			if h.Stable() {
+				p, err := h.ProbWaitLE(t)
+				if err != nil {
+					return 0, err
+				}
+				if p >= slo.Percentile {
+					return add, nil
+				}
+			}
+		}
+		if len(rates) >= MaxSolverContainers {
+			return 0, fmt.Errorf("queuing: heterogeneous scan exhausted (lambda=%v)", lambda)
+		}
+		rates = append(rates, newRate)
+	}
+}
+
+// HetProbWaitLE is a convenience wrapper evaluating the heterogeneous bound
+// for a given pool; it returns 0 for an unstable pool rather than an error,
+// which is the natural reading for "does this pool meet the SLO".
+func HetProbWaitLE(lambda float64, rates []float64, t float64) float64 {
+	if lambda == 0 {
+		return 1
+	}
+	h, err := NewHetMMC(lambda, rates)
+	if err != nil || !h.Stable() {
+		return 0
+	}
+	p, err := h.ProbWaitLE(t)
+	if err != nil {
+		return 0
+	}
+	return p
+}

@@ -1,0 +1,222 @@
+package realtime
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+)
+
+// fastConfig keeps wall-clock test time low: 100ms epochs, short windows.
+func fastConfig() Config {
+	return Config{
+		Cluster: cluster.PaperCluster(),
+		Controller: controller.Config{
+			EvalInterval: 100 * time.Millisecond,
+			Windows: controller.DualWindowConfig{
+				Short: 2 * time.Second, Long: 10 * time.Second, BurstFactor: 2,
+			},
+			MinContainers: 1,
+		},
+	}
+}
+
+func echoSpec() functions.Spec {
+	s := functions.MicroBenchmark(5 * time.Millisecond)
+	s.ColdStart = 10 * time.Millisecond
+	return s
+}
+
+func TestInvokeEndToEnd(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	var executed atomic.Int64
+	handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+		executed.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return append([]byte("echo:"), payload...), nil
+	}
+	if err := p.Register(echoSpec(), handler, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision("micro-benchmark", 2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // cold start
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := p.Invoke(ctx, "micro-benchmark", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "echo:hi" {
+		t.Errorf("out=%q", out)
+	}
+	if executed.Load() != 1 {
+		t.Errorf("executed=%d", executed.Load())
+	}
+}
+
+func TestInvokeUnknownFunction(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if _, err := p.Invoke(context.Background(), "ghost", nil); err == nil {
+		t.Error("want error for unknown function")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if err := p.Register(echoSpec(), nil, queuing.SLO{}); err == nil {
+		t.Error("want error for nil handler")
+	}
+	h := func(ctx context.Context, b []byte) ([]byte, error) { return b, nil }
+	if err := p.Register(echoSpec(), h, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register(echoSpec(), h, queuing.SLO{}); err == nil {
+		t.Error("want error for duplicate registration")
+	}
+}
+
+func TestConcurrentInvocationsAutoScale(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+		time.Sleep(3 * time.Millisecond)
+		return payload, nil
+	}
+	if err := p.Register(echoSpec(), handler, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision("micro-benchmark", 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := p.Invoke(ctx, "micro-benchmark", []byte("x")); err == nil {
+				ok.Add(1)
+			}
+		}()
+		time.Sleep(5 * time.Millisecond) // ~200 req/s offered
+	}
+	wg.Wait()
+	if ok.Load() < 300 {
+		t.Fatalf("completed=%d", ok.Load())
+	}
+	st, err := p.Stats("micro-benchmark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LambdaHat <= 0 {
+		t.Errorf("controller never estimated a rate: %+v", st)
+	}
+	if st.Containers < 1 {
+		t.Errorf("no workers: %+v", st)
+	}
+	if p.Utilization() <= 0 {
+		t.Error("zero utilization with live containers")
+	}
+}
+
+func TestCPUFractionInContext(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	got := make(chan float64, 1)
+	handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+		got <- CPUFraction(ctx)
+		return nil, nil
+	}
+	if err := p.Register(echoSpec(), handler, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	p.Provision("micro-benchmark", 1)
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, "micro-benchmark", nil); err != nil {
+		t.Fatal(err)
+	}
+	if f := <-got; f != 1.0 {
+		t.Errorf("fraction=%v want 1.0 (standard container)", f)
+	}
+	if CPUFraction(context.Background()) != 1 {
+		t.Error("default fraction should be 1")
+	}
+}
+
+func TestStopFailsPendingInvocations(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	if err := p.Register(echoSpec(), handler, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	// No containers: the invocation stays queued.
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.Invoke(context.Background(), "micro-benchmark", nil)
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	p.Stop()
+	select {
+	case err := <-errCh:
+		if err != ErrStopped {
+			t.Errorf("err=%v want ErrStopped", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued invocation not released on Stop")
+	}
+	if _, err := p.Invoke(context.Background(), "micro-benchmark", nil); err != ErrStopped {
+		t.Errorf("post-stop err=%v", err)
+	}
+	p.Stop() // double stop is a no-op
+}
+
+func TestStatsUnknownFunction(t *testing.T) {
+	p, err := New(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	if _, err := p.Stats("ghost"); err == nil {
+		t.Error("want error")
+	}
+}

@@ -1,0 +1,232 @@
+// Package sim implements the discrete-event simulation engine that drives
+// the LaSS reproduction experiments.
+//
+// The paper evaluates LaSS on a physical 3-node OpenWhisk cluster; this
+// repository substitutes a discrete-event simulated edge cluster (see
+// DESIGN.md §1). The engine provides a virtual clock, an event heap with
+// stable FIFO ordering for simultaneous events, periodic tasks, and a Clock
+// abstraction shared with the wall-clock runtime so the LaSS controller code
+// is identical in both modes.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is the time source abstraction shared by the simulated and the
+// real-time runtimes. Controller code only ever observes time through a
+// Clock, which is what lets the same allocation logic run in simulation
+// (fast, deterministic) and against the wall clock (cmd/lass-server).
+type Clock interface {
+	// Now returns the current time as an offset from the run's origin.
+	Now() time.Duration
+}
+
+// Event is a scheduled callback. Events fire in timestamp order; events with
+// equal timestamps fire in scheduling (FIFO) order, which keeps simulations
+// deterministic.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.dead = true
+	}
+}
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e == nil || e.dead }
+
+// At returns the scheduled fire time of the event.
+func (e *Event) At() time.Duration { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the caller's
+// goroutine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an engine with the virtual clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time. Engine implements Clock.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the total number of events that have executed.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt results.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After queues fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Every schedules fn at now+period, then every period thereafter, until the
+// returned Task is stopped or the run ends.
+func (e *Engine) Every(period time.Duration, fn func()) *Task {
+	if period <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	t := &Task{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// EveryFrom behaves like Every but fires the first tick at start.
+func (e *Engine) EveryFrom(start, period time.Duration, fn func()) *Task {
+	if period <= 0 {
+		panic("sim: EveryFrom with non-positive period")
+	}
+	t := &Task{engine: e, period: period, fn: fn}
+	t.ev = e.Schedule(start, t.tick)
+	return t
+}
+
+// Task is a periodic event created by Every/EveryFrom.
+type Task struct {
+	engine  *Engine
+	period  time.Duration
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Task) arm() {
+	t.ev = t.engine.After(t.period, t.tick)
+}
+
+func (t *Task) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.arm()
+	}
+}
+
+// Stop cancels future ticks. Stopping twice is a no-op.
+func (t *Task) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}
+
+// Step executes the single next event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the virtual clock would pass deadline or no
+// events remain. The clock is left at deadline if it was reached, so
+// measurements of elapsed simulated time are exact.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 {
+		// Peek without popping so an event after the deadline stays queued.
+		next := e.events[0]
+		if next.dead {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RealClock is a Clock backed by the wall clock, measured from the moment it
+// is created. It is safe for concurrent use.
+type RealClock struct {
+	origin time.Time
+}
+
+// NewRealClock returns a RealClock whose zero instant is now.
+func NewRealClock() *RealClock { return &RealClock{origin: time.Now()} }
+
+// Now returns the wall-clock time elapsed since the clock was created.
+func (c *RealClock) Now() time.Duration { return time.Since(c.origin) }

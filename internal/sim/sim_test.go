@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(3*time.Second, func() { order = append(order, 3) })
+	e.Schedule(1*time.Second, func() { order = append(order, 1) })
+	e.Schedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("clock = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic scheduling in the past")
+		}
+	}()
+	e.Schedule(500*time.Millisecond, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Error("Cancelled() false")
+	}
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	if !nilEv.Cancelled() {
+		t.Error("nil event should report cancelled")
+	}
+}
+
+func TestAfterRelativeScheduling(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.Schedule(2*time.Second, func() {
+		e.After(3*time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5*time.Second {
+		t.Errorf("After fired at %v want 5s", at)
+	}
+	// Negative delay clamps to now.
+	e2 := NewEngine()
+	ran := false
+	e2.Schedule(time.Second, func() {
+		e2.After(-time.Second, func() { ran = e2.Now() == time.Second })
+	})
+	e2.Run()
+	if !ran {
+		t.Error("negative After did not clamp to now")
+	}
+}
+
+func TestEveryPeriodicAndStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var task *Task
+	task = e.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			task.Stop()
+		}
+	})
+	e.RunUntil(time.Minute)
+	if count != 5 {
+		t.Errorf("ticks = %d want 5", count)
+	}
+	if e.Now() != time.Minute {
+		t.Errorf("clock = %v want 1m", e.Now())
+	}
+	task.Stop() // double stop is a no-op
+}
+
+func TestEveryFrom(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	task := e.EveryFrom(0, 10*time.Second, func() { times = append(times, e.Now()) })
+	e.RunUntil(25 * time.Second)
+	task.Stop()
+	want := []time.Duration{0, 10 * time.Second, 20 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %v want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestEveryInvalidPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestRunUntilLeavesFutureEvents(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(time.Second, func() { fired++ })
+	e.Schedule(10*time.Second, func() { fired++ })
+	e.RunUntil(5 * time.Second)
+	if fired != 1 {
+		t.Errorf("fired=%d want 1", fired)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending=%d want 1", e.Pending())
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("clock=%v want 5s", e.Now())
+	}
+	e.RunUntil(15 * time.Second)
+	if fired != 2 {
+		t.Errorf("fired=%d want 2", fired)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine returned true")
+	}
+	e.Schedule(time.Second, func() {})
+	if !e.Step() {
+		t.Error("Step with events returned false")
+	}
+	if e.Fired() != 1 {
+		t.Errorf("Fired=%d", e.Fired())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 100 {
+			e.After(time.Millisecond, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run()
+	if depth != 100 {
+		t.Errorf("depth=%d", depth)
+	}
+	if e.Now() != 99*time.Millisecond {
+		t.Errorf("clock=%v", e.Now())
+	}
+}
+
+func TestRealClockMonotone(t *testing.T) {
+	c := NewRealClock()
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Errorf("real clock went backwards: %v then %v", a, b)
+	}
+}
+
+func TestClockInterfaceSatisfied(t *testing.T) {
+	var _ Clock = NewEngine()
+	var _ Clock = NewRealClock()
+}

@@ -1,0 +1,141 @@
+// Package lass is the public API of the LaSS reproduction: a platform for
+// running latency-sensitive serverless computations on resource-constrained
+// edge clusters, after Wang, Ali-Eldin and Shenoy, "LaSS: Running Latency
+// Sensitive Serverless Computations at the Edge" (HPDC 2021).
+//
+// The package re-exports the library's stable surface:
+//
+//   - queueing-model capacity planning (RequiredContainers and friends,
+//     paper §3): given an arrival rate, a service rate, and an SLO, how
+//     many containers does a function need?
+//   - simulated platform construction (NewSimulation, §5-§6): a complete
+//     edge deployment — cluster, data path, controller — driven by a
+//     deterministic discrete-event engine;
+//   - the function catalog of the paper's evaluation (Catalog, Table 1);
+//   - workload generators (§6.1) and Azure-schema trace tooling (§6.7).
+//
+// # Quick start
+//
+//	spec := lass.MicroBenchmark(100 * time.Millisecond)
+//	wl, _ := lass.StaticWorkload(30) // 30 req/s Poisson
+//	p, _ := lass.NewSimulation(lass.SimulationConfig{
+//		Cluster:   lass.PaperCluster(),
+//		Seed:      1,
+//		Functions: []lass.FunctionConfig{{Spec: spec, Workload: wl}},
+//	})
+//	res, _ := p.Run(10 * time.Minute)
+//	fmt.Println(res.Functions[spec.Name].Waits.Quantile(0.95))
+//
+// See examples/ for complete programs and cmd/lass-bench for the
+// harnesses that regenerate every table and figure of the paper.
+package lass
+
+import (
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/core"
+	"lass/internal/functions"
+	"lass/internal/queuing"
+	"lass/internal/workload"
+)
+
+// SLO is a latency service-level objective: a percentile of requests must
+// meet the deadline (paper §2.3).
+type SLO = queuing.SLO
+
+// Spec describes a serverless function as the platform sees it: container
+// size, service-time behaviour, deflation slack (paper §6.1, Table 1).
+type Spec = functions.Spec
+
+// ClusterConfig sizes the edge cluster.
+type ClusterConfig = cluster.Config
+
+// ControllerConfig tunes the LaSS control plane (§3-§5).
+type ControllerConfig = controller.Config
+
+// ReclamationPolicy selects termination- or deflation-based reclamation
+// (§4.2).
+type ReclamationPolicy = controller.ReclamationPolicy
+
+// Reclamation policies.
+const (
+	Termination = controller.Termination
+	Deflation   = controller.Deflation
+)
+
+// FunctionConfig registers a function and its workload with a simulation.
+type FunctionConfig = core.FunctionConfig
+
+// SimulationConfig describes a complete simulated deployment.
+type SimulationConfig = core.Config
+
+// Simulation is an assembled platform; Run drives it and returns results.
+type Simulation = core.Platform
+
+// Result is the outcome of a simulation run.
+type Result = core.Result
+
+// FunctionResult is one function's measurements.
+type FunctionResult = core.FunctionResult
+
+// Workload is a piecewise-constant arrival-rate schedule (§6.1).
+type Workload = workload.Schedule
+
+// WorkloadStep is one segment of a discrete-change schedule.
+type WorkloadStep = workload.Step
+
+// NewSimulation assembles a simulated LaSS deployment.
+func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
+	return core.New(cfg)
+}
+
+// PaperCluster returns the 3-node, 4-core testbed of §6.1.
+func PaperCluster() ClusterConfig { return cluster.PaperCluster() }
+
+// DefaultController returns the paper-faithful controller configuration
+// (5s epochs, dual 10s/2min windows, τ=30% deflation, deflation policy).
+func DefaultController() ControllerConfig { return controller.Default() }
+
+// Catalog returns the paper's function catalog (Table 1).
+func Catalog() []Spec { return functions.Catalog() }
+
+// FunctionByName returns a catalog entry.
+func FunctionByName(name string) (Spec, error) { return functions.ByName(name) }
+
+// MicroBenchmark returns the configurable micro-benchmark function at the
+// given mean service time (§6.1).
+func MicroBenchmark(mean time.Duration) Spec { return functions.MicroBenchmark(mean) }
+
+// StaticWorkload returns a constant-rate Poisson workload.
+func StaticWorkload(rate float64) (*Workload, error) { return workload.NewStatic(rate) }
+
+// StepWorkload returns a discrete-change workload from explicit steps.
+func StepWorkload(steps []WorkloadStep) (*Workload, error) { return workload.NewSteps(steps) }
+
+// TraceWorkload converts per-minute invocation counts (the Azure trace
+// format) into a workload.
+func TraceWorkload(perMinuteCounts []float64) (*Workload, error) {
+	return workload.FromPerMinuteCounts(perMinuteCounts)
+}
+
+// RequiredContainers runs the paper's Algorithm 1: the number of
+// containers needed to serve arrival rate lambda with per-container
+// service rate mu while meeting the SLO (§3.1).
+func RequiredContainers(lambda, mu float64, slo SLO) (int, error) {
+	return queuing.MinimalContainers(lambda, mu, slo)
+}
+
+// RequiredContainersHeterogeneous sizes a pool that already contains
+// containers with the given (possibly deflated) service rates: it returns
+// how many standard containers at newRate must be added (§3.2).
+func RequiredContainersHeterogeneous(lambda float64, existingRates []float64, newRate float64, slo SLO) (int, error) {
+	return queuing.AdditionalHetContainers(lambda, existingRates, newRate, slo)
+}
+
+// DefaultSLO is the evaluation's default objective: 95% of requests start
+// service within 100 ms (§6.1).
+func DefaultSLO() SLO {
+	return SLO{Deadline: 100 * time.Millisecond, Percentile: 0.95, WaitingOnly: true}
+}

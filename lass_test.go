@@ -1,0 +1,141 @@
+package lass_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"lass"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+)
+
+func TestPublicAPISimulation(t *testing.T) {
+	spec := lass.MicroBenchmark(100 * time.Millisecond)
+	wl, err := lass.StaticWorkload(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := lass.NewSimulation(lass.SimulationConfig{
+		Cluster:   lass.PaperCluster(),
+		Seed:      1,
+		Functions: []lass.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := res.Functions[spec.Name]
+	if fr.Completed == 0 {
+		t.Fatal("nothing completed through the public API")
+	}
+	if fr.SLO.Attainment() < 0.8 {
+		t.Errorf("attainment %.3f", fr.SLO.Attainment())
+	}
+}
+
+func TestPublicAPISolvers(t *testing.T) {
+	c, err := lass.RequiredContainers(30, 10, lass.DefaultSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 4 || c > 7 {
+		t.Errorf("c=%d outside plausible range for lambda=30 mu=10", c)
+	}
+	add, err := lass.RequiredContainersHeterogeneous(30, []float64{7, 7}, 10, lass.DefaultSLO())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add < 1 {
+		t.Errorf("het solver added %d containers to an undersized pool", add)
+	}
+}
+
+func TestPublicAPICatalogAndTraces(t *testing.T) {
+	if got := len(lass.Catalog()); got != 7 {
+		t.Errorf("catalog size %d", got)
+	}
+	if _, err := lass.FunctionByName("squeezenet"); err != nil {
+		t.Error(err)
+	}
+	row, err := lass.SynthesizeTrace(5, lass.TraceSporadic, 18, 1440)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := lass.FindActiveTraceWindow(row.Counts, 60)
+	window := row.Window(start, start+60)
+	if len(window) != 60 {
+		t.Fatalf("window length %d", len(window))
+	}
+	wl, err := lass.TraceWorkload(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl.End() != time.Hour {
+		t.Errorf("trace workload end %v", wl.End())
+	}
+}
+
+func TestPublicAPIRealtime(t *testing.T) {
+	p, err := lass.NewRealtime(lass.RealtimeConfig{
+		Cluster: lass.PaperCluster(),
+		Controller: controller.Config{
+			EvalInterval:  100 * time.Millisecond,
+			Windows:       controller.DualWindowConfig{Short: 2 * time.Second, Long: 10 * time.Second, BurstFactor: 2},
+			MinContainers: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Stop()
+	spec := lass.MicroBenchmark(5 * time.Millisecond)
+	spec.ColdStart = 10 * time.Millisecond
+	handler := func(ctx context.Context, payload []byte) ([]byte, error) {
+		if f := lass.HandlerCPUFraction(ctx); f <= 0 || f > 1 {
+			return nil, fmt.Errorf("bad cpu fraction %v", f)
+		}
+		return []byte("ok"), nil
+	}
+	if err := p.Register(spec, handler, lass.DefaultSLO()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Provision(spec.Name, 1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := p.Invoke(ctx, spec.Name, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ok" {
+		t.Errorf("out=%q", out)
+	}
+}
+
+func TestPolicyConstantsWired(t *testing.T) {
+	if lass.Termination == lass.Deflation {
+		t.Error("policy constants collide")
+	}
+	ctl := lass.DefaultController()
+	if ctl.Policy != lass.Deflation {
+		t.Errorf("default policy %v", ctl.Policy)
+	}
+	_ = cluster.Config(lass.PaperCluster()) // type identity sanity
+}
+
+// ExampleRequiredContainers demonstrates sizing a function with the
+// paper's queueing model.
+func ExampleRequiredContainers() {
+	slo := lass.SLO{Deadline: 100 * time.Millisecond, Percentile: 0.95, WaitingOnly: true}
+	c, _ := lass.RequiredContainers(30, 10, slo)
+	fmt.Println(c)
+	// Output: 5
+}

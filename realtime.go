@@ -1,0 +1,66 @@
+package lass
+
+import (
+	"context"
+
+	"lass/internal/azure"
+	"lass/internal/realtime"
+	"lass/internal/xrand"
+)
+
+// Realtime is the wall-clock LaSS runtime: a miniature FaaS platform whose
+// worker pools are autoscaled by the same controller that drives the
+// simulation. See cmd/lass-server and examples/edgeserver.
+type Realtime = realtime.Platform
+
+// RealtimeConfig configures the wall-clock runtime.
+type RealtimeConfig = realtime.Config
+
+// Handler executes one invocation on the wall-clock runtime.
+type Handler = realtime.Handler
+
+// NewRealtime builds and starts a wall-clock LaSS platform.
+func NewRealtime(cfg RealtimeConfig) (*Realtime, error) {
+	return realtime.New(cfg)
+}
+
+// HandlerCPUFraction returns the executing container's current CPU
+// fraction from a handler context (1.0 outside a handler). Handlers that
+// emulate CPU-bound work should scale their effort by it.
+func HandlerCPUFraction(ctx context.Context) float64 {
+	return realtime.CPUFraction(ctx)
+}
+
+// TraceRow is one function's per-minute invocation counts in the Azure
+// Functions Trace 2019 schema (§6.7).
+type TraceRow = azure.Row
+
+// TraceArchetype names a synthetic trace shape (steady, periodic, bursty,
+// sporadic).
+type TraceArchetype = azure.Archetype
+
+// Trace archetypes.
+const (
+	TraceSteady   = azure.Steady
+	TracePeriodic = azure.Periodic
+	TraceBursty   = azure.Bursty
+	TraceSporadic = azure.Sporadic
+)
+
+// SynthesizeTrace generates one Azure-schema trace row with the given
+// shape and mean invocations per minute. Rows with equal seeds are
+// identical.
+func SynthesizeTrace(seed uint64, archetype TraceArchetype, meanPerMinute float64, minutes int) (TraceRow, error) {
+	return azure.Synthesize(xrand.New(seed), azure.SynthConfig{
+		Archetype:     archetype,
+		MeanPerMinute: meanPerMinute,
+		Minutes:       minutes,
+	})
+}
+
+// FindActiveTraceWindow returns the start minute of the busiest
+// window-minute slice of a trace — how the paper picks an active hour out
+// of the 24h Azure dataset (§6.7).
+func FindActiveTraceWindow(counts []float64, windowMinutes int) int {
+	return azure.FindActiveWindow(counts, windowMinutes)
+}
