@@ -8,6 +8,12 @@
 //	lass-sim -functions squeezenet:40,geofence:120 -duration 10m
 //	lass-sim -functions mobilenet-v2:20 -policy termination -nodes 3
 //	lass-sim -functions binaryalert:80 -trace traces.csv   # Azure CSV rates
+//	lass-sim -federation -out federation.csv               # offload sweep
+//
+// With -federation the command runs the multi-cluster edge–cloud offload
+// experiment instead: three edge sites plus an elastic cloud, sweeping the
+// never / cloud-only / nearest-peer / model-driven placement policies, and
+// writes the comparison (including per-policy SLO-violation rates) as CSV.
 package main
 
 import (
@@ -22,22 +28,46 @@ import (
 	"lass/internal/cluster"
 	"lass/internal/controller"
 	"lass/internal/core"
+	"lass/internal/experiments"
 	"lass/internal/functions"
 	"lass/internal/workload"
 )
 
 func main() {
 	var (
-		fnsFlag  = flag.String("functions", "squeezenet:40", "comma-separated name:rate pairs (req/s)")
-		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
-		nodes    = flag.Int("nodes", 3, "cluster nodes")
-		cpu      = flag.Int64("cpu", 4000, "millicores per node")
-		mem      = flag.Int64("mem", 16384, "MiB per node")
-		policy   = flag.String("policy", "deflation", "reclamation policy: deflation|termination")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		trace    = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i")
+		fnsFlag    = flag.String("functions", "squeezenet:40", "comma-separated name:rate pairs (req/s)")
+		duration   = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		nodes      = flag.Int("nodes", 3, "cluster nodes")
+		cpu        = flag.Int64("cpu", 4000, "millicores per node")
+		mem        = flag.Int64("mem", 16384, "MiB per node")
+		policy     = flag.String("policy", "deflation", "reclamation policy: deflation|termination")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		trace      = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i")
+		fed        = flag.Bool("federation", false, "run the edge-cloud federation offload-policy sweep")
+		out        = flag.String("out", "federation.csv", "CSV output path for -federation")
+		quickSweep = flag.Bool("quick", false, "shorten the -federation sweep for smoke testing")
 	)
 	flag.Parse()
+
+	if *fed {
+		// The sweep's scenario is fixed; flags for the ad-hoc mode would
+		// be silently meaningless, so call them out.
+		fedFlags := map[string]bool{"federation": true, "out": true, "quick": true, "seed": true}
+		flag.Visit(func(fl *flag.Flag) {
+			if !fedFlags[fl.Name] {
+				fmt.Fprintf(os.Stderr, "lass-sim: -%s is ignored in -federation mode (fixed 3-site scenario; only -seed, -quick, -out apply)\n", fl.Name)
+			}
+		})
+		runFederation(*seed, *quickSweep, *out)
+		return
+	}
+	// Symmetric warning for the other direction: -out/-quick only mean
+	// something to the federation sweep.
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "out" || fl.Name == "quick" {
+			fmt.Fprintf(os.Stderr, "lass-sim: -%s only applies with -federation; ignored\n", fl.Name)
+		}
+	})
 
 	pol := controller.Deflation
 	switch *policy {
@@ -120,6 +150,28 @@ func main() {
 	ops := res.ControllerOps
 	fmt.Printf("controller: %d creations, %d terminations, %d deflations, %d inflations, %d overload epochs\n",
 		ops.Creations, ops.Terminations, ops.Deflations, ops.Inflations, ops.Overloads)
+}
+
+// runFederation executes the offload-policy sweep, prints the table, and
+// writes it as CSV for plotting.
+func runFederation(seed uint64, quick bool, out string) {
+	tab, err := experiments.Run("federation", experiments.Options{Seed: seed, Quick: quick})
+	if err != nil {
+		fail(err)
+	}
+	tab.Fprint(os.Stdout)
+	f, err := os.Create(out)
+	if err != nil {
+		fail(err)
+	}
+	if err := tab.WriteCSV(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func fail(err error) {

@@ -1,0 +1,3 @@
+module lass
+
+go 1.24

@@ -157,6 +157,7 @@ func (p PlacementPolicy) String() string {
 
 // Cluster is a set of nodes with a placement policy.
 type Cluster struct {
+	site   string
 	nodes  []*Node
 	policy PlacementPolicy
 	nextID ContainerID
@@ -165,6 +166,10 @@ type Cluster struct {
 
 // Config describes a cluster to build.
 type Config struct {
+	// Site names the deployment this cluster belongs to. A single-cluster
+	// run can leave it empty; the federation layer names each edge site so
+	// placement decisions and results are attributable.
+	Site       string
 	Nodes      int
 	CPUPerNode int64 // millicores
 	MemPerNode int64 // MiB
@@ -185,7 +190,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.CPUPerNode <= 0 || cfg.MemPerNode <= 0 {
 		return nil, fmt.Errorf("cluster: non-positive node capacity (%d mC, %d MiB)", cfg.CPUPerNode, cfg.MemPerNode)
 	}
-	c := &Cluster{policy: cfg.Policy, byFunc: make(map[string]map[ContainerID]*Container)}
+	c := &Cluster{site: cfg.Site, policy: cfg.Policy, byFunc: make(map[string]map[ContainerID]*Container)}
 	for i := 0; i < cfg.Nodes; i++ {
 		c.nodes = append(c.nodes, &Node{
 			ID:          i,
@@ -196,6 +201,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// Site returns the name of the deployment site this cluster belongs to
+// ("" for a standalone single-cluster run).
+func (cl *Cluster) Site() string { return cl.site }
 
 // Nodes returns the cluster's nodes.
 func (cl *Cluster) Nodes() []*Node { return cl.nodes }

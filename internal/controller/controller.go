@@ -188,14 +188,15 @@ type Stats struct {
 
 // Controller is the LaSS control plane for one edge cluster.
 type Controller struct {
-	cfg     Config
-	cluster *cluster.Cluster
-	hooks   Hooks
-	funcs   map[string]*Function
-	order   []string // registration order, for deterministic iteration
-	users   map[string]float64
-	drained map[cluster.ContainerID]time.Duration // when marked draining
-	stats   Stats
+	cfg      Config
+	cluster  *cluster.Cluster
+	hooks    Hooks
+	funcs    map[string]*Function
+	order    []string // registration order, for deterministic iteration
+	users    map[string]float64
+	drained  map[cluster.ContainerID]time.Duration // when marked draining
+	stats    Stats
+	headroom int64 // capacity minus model-desired CPU, from the last Step
 }
 
 // New builds a controller for the cluster.
@@ -214,12 +215,13 @@ func New(cfg Config, cl *cluster.Cluster, hooks Hooks) (*Controller, error) {
 		return nil, fmt.Errorf("controller: deflation increment %v out of (0,1]", cfg.DeflationIncrement)
 	}
 	return &Controller{
-		cfg:     cfg,
-		cluster: cl,
-		hooks:   hooks,
-		funcs:   make(map[string]*Function),
-		users:   make(map[string]float64),
-		drained: make(map[cluster.ContainerID]time.Duration),
+		cfg:      cfg,
+		cluster:  cl,
+		hooks:    hooks,
+		funcs:    make(map[string]*Function),
+		users:    make(map[string]float64),
+		drained:  make(map[cluster.ContainerID]time.Duration),
+		headroom: cl.TotalCPU(), // optimistic until the first Step runs
 	}, nil
 }
 
@@ -228,6 +230,18 @@ func (ctl *Controller) Config() Config { return ctl.cfg }
 
 // Stats returns the cumulative action counters.
 func (ctl *Controller) Stats() Stats { return ctl.stats }
+
+// Headroom is the controller's capacity-headroom signal: cluster CPU
+// (millicores) left over after the queuing model's desired allocations, as
+// of the most recent Step. Negative values mean the last epoch ran
+// overloaded (the fair-share path was taken). Before the first Step it is
+// the full cluster capacity. The federation placement layer reads this to
+// decide whether a site can absorb more load or should shed it.
+func (ctl *Controller) Headroom() int64 { return ctl.headroom }
+
+// Overloaded reports whether the most recent Step found aggregate demand
+// exceeding cluster capacity.
+func (ctl *Controller) Overloaded() bool { return ctl.headroom < 0 }
 
 // RegisterUser sets a namespace weight for the two-level hierarchical
 // share tree (§5). Functions registered with this user name share the
@@ -462,6 +476,7 @@ func (ctl *Controller) Step() error {
 	ctl.expireDrained(now)
 
 	capacity := ctl.cluster.TotalCPU()
+	ctl.headroom = capacity - totalDesired
 	if totalDesired <= capacity {
 		// No resource pressure: grant everyone their desire (§3.3).
 		for _, name := range ctl.order {

@@ -515,3 +515,32 @@ func TestPolicyString(t *testing.T) {
 		t.Error("policy strings wrong")
 	}
 }
+
+func TestHeadroomSignal(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	if h.ctl.Headroom() != h.cl.TotalCPU() {
+		t.Errorf("initial headroom %d want full capacity %d", h.ctl.Headroom(), h.cl.TotalCPU())
+	}
+	if h.ctl.Overloaded() {
+		t.Error("controller overloaded before any Step")
+	}
+	spec := mustSpec(t, "squeezenet")
+	if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	// Modest load: headroom shrinks but stays positive.
+	h.offer(spec.Name, 20, 5*time.Second)
+	h.step()
+	if h.ctl.Overloaded() || h.ctl.Headroom() <= 0 {
+		t.Errorf("headroom %d at 20 req/s on a %d mC cluster; want positive", h.ctl.Headroom(), h.cl.TotalCPU())
+	}
+	if h.ctl.Headroom() >= h.cl.TotalCPU() {
+		t.Errorf("headroom %d did not shrink under load", h.ctl.Headroom())
+	}
+	// Offered load far past cluster capacity: headroom must go negative.
+	h.offer(spec.Name, 800, 5*time.Second)
+	h.step()
+	if !h.ctl.Overloaded() || h.ctl.Headroom() >= 0 {
+		t.Errorf("headroom %d at 800 req/s on a %d mC cluster; want negative", h.ctl.Headroom(), h.cl.TotalCPU())
+	}
+}

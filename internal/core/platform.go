@@ -50,6 +50,11 @@ type Config struct {
 	// DisableController freezes allocations after prewarm — used by the
 	// model-validation experiments that measure a fixed pool (Fig 3).
 	DisableController bool
+	// Engine, when non-nil, is the discrete-event engine the platform
+	// runs on instead of a private one. The federation layer passes a
+	// shared engine so several edge-site platforms advance on one virtual
+	// clock; such platforms are driven with Start/Collect rather than Run.
+	Engine *sim.Engine
 }
 
 // FunctionResult aggregates one function's measurements over a run.
@@ -95,7 +100,10 @@ type Platform struct {
 
 // New assembles a platform from the configuration.
 func New(cfg Config) (*Platform, error) {
-	engine := sim.NewEngine()
+	engine := cfg.Engine
+	if engine == nil {
+		engine = sim.NewEngine()
+	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
 		return nil, err
@@ -188,8 +196,13 @@ func (p *Platform) startArrivals(fc FunctionConfig) {
 	fire = func(at time.Duration) {
 		p.Engine.Schedule(at, func() {
 			res.Arrivals++
-			p.Controller.RecordArrival(name)
-			p.Queues[name].Arrive()
+			// Only locally-admitted requests feed the rate estimator: a
+			// request the offload hook diverts is served (and provisioned
+			// for) elsewhere, and counting it here would inflate this
+			// site's demand estimate with load it never serves.
+			if p.Queues[name].Arrive() != nil {
+				p.Controller.RecordArrival(name)
+			}
 			if next, ok := arr.Next(p.Engine.Now()); ok {
 				fire(next)
 			}
@@ -224,9 +237,11 @@ func (p *Platform) record() {
 	}
 }
 
-// Run simulates the platform for the given duration and returns the
-// collected results.
-func (p *Platform) Run(duration time.Duration) (*Result, error) {
+// Start installs the platform's arrival chains, controller epochs, and
+// metric sampling on its engine without running it. Standalone runs use
+// Run; the federation layer Starts each edge-site platform on a shared
+// engine, drives the engine itself, and then Collects per-site results.
+func (p *Platform) Start() {
 	for _, fc := range p.cfg.Functions {
 		p.startArrivals(fc)
 	}
@@ -247,7 +262,19 @@ func (p *Platform) Run(duration time.Duration) (*Result, error) {
 	}
 	p.record()
 	p.Engine.Every(recordEvery, p.record)
+}
+
+// Run simulates the platform for the given duration and returns the
+// collected results.
+func (p *Platform) Run(duration time.Duration) (*Result, error) {
+	p.Start()
 	p.Engine.RunUntil(duration)
+	return p.Collect(duration)
+}
+
+// Collect finalizes measurement after the engine has run for duration and
+// returns the platform's results.
+func (p *Platform) Collect(duration time.Duration) (*Result, error) {
 	if p.runErr != nil {
 		return nil, p.runErr
 	}

@@ -32,6 +32,13 @@ type Request struct {
 	Start    time.Duration // when service began (valid once started)
 	Finish   time.Duration // when service completed (valid once done)
 	Requeues int           // times the request was bounced by a container termination
+
+	// Done, when set, is invoked once the request completes service
+	// (after Finish is recorded). Requests killed by the hard execution
+	// limit never complete, so Done does not fire for them. The
+	// federation layer uses this to account end-to-end latency for
+	// requests it placed.
+	Done func(*Request)
 }
 
 // Wait returns the queueing delay.
@@ -76,9 +83,18 @@ type Queue struct {
 	// and counts in TimedOut instead of Completed.
 	TimeLimit time.Duration
 
+	// Offload, when set, is consulted on the enqueue path: Arrive builds
+	// the request, offers it to the hook, and only enqueues it locally if
+	// the hook declines (returns false). A hook that returns true takes
+	// ownership of the request — the federation placement layer serves it
+	// at a peer site or the cloud — and the local queue records nothing
+	// about it beyond the Offloaded counter.
+	Offload func(*Request) bool
+
 	completed uint64
 	requeued  uint64
 	timedOut  uint64
+	offloaded uint64
 }
 
 // NewQueue builds a dispatcher for one function. sloDeadline bounds the
@@ -130,8 +146,23 @@ func (q *Queue) TimedOut() uint64 { return q.timedOut }
 // policy, §6.7: "fewer requests that need to be rerun").
 func (q *Queue) Requeued() uint64 { return q.requeued }
 
+// Offloaded returns the number of arrivals claimed by the Offload hook.
+func (q *Queue) Offloaded() uint64 { return q.offloaded }
+
 // Containers returns the number of containers attached to the queue.
 func (q *Queue) Containers() int { return len(q.entries) }
+
+// ServiceCapacity returns the aggregate service rate (req/s) of the
+// attached containers at their current (possibly deflated) CPU
+// allocations. The federation placement policy uses it to predict how
+// fast a site can drain its backlog.
+func (q *Queue) ServiceCapacity() float64 {
+	var total float64
+	for _, e := range q.entries {
+		total += q.spec.RateAt(e.c.CPUFraction())
+	}
+	return total
+}
 
 // IdleContainers returns the number of attached, non-busy containers.
 func (q *Queue) IdleContainers() int {
@@ -188,13 +219,32 @@ func (q *Queue) Has(c *cluster.Container) bool {
 }
 
 // Arrive enqueues a new invocation at the current simulation time and
-// dispatches immediately if a container is idle.
+// dispatches immediately if a container is idle. When an Offload hook is
+// set and claims the request, nothing is enqueued and Arrive returns nil.
 func (q *Queue) Arrive() *Request {
 	q.nextID++
 	r := &Request{ID: q.nextID, Function: q.spec.Name, Arrival: q.engine.Now()}
+	if q.Offload != nil && q.Offload(r) {
+		q.offloaded++
+		return nil
+	}
+	q.enqueue(r)
+	return r
+}
+
+// ArriveOffloaded enqueues an invocation that a peer site's placement
+// layer offloaded here. The Offload hook is deliberately not consulted, so
+// offloaded work cannot bounce between sites.
+func (q *Queue) ArriveOffloaded() *Request {
+	q.nextID++
+	r := &Request{ID: q.nextID, Function: q.spec.Name, Arrival: q.engine.Now()}
+	q.enqueue(r)
+	return r
+}
+
+func (q *Queue) enqueue(r *Request) {
 	q.fifo = append(q.fifo, r)
 	q.pump()
-	return r
 }
 
 // selectIdle picks the idle container by smooth weighted round-robin with
@@ -268,6 +318,9 @@ func (q *Queue) start(e *wrrEntry, r *Request) {
 		q.completed++
 		if q.OnComplete != nil {
 			q.OnComplete(frac, service)
+		}
+		if r.Done != nil {
+			r.Done(r)
 		}
 		q.pump()
 	})

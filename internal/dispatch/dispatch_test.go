@@ -322,3 +322,77 @@ func TestDeterministicReplay(t *testing.T) {
 		}
 	}
 }
+
+func TestOffloadHookDivertsArrival(t *testing.T) {
+	engine, cl, q := testSetup(t)
+	addRunning(t, cl, q, 1000)
+	divert := false
+	var offered *Request
+	q.Offload = func(r *Request) bool {
+		offered = r
+		return divert
+	}
+	if r := q.Arrive(); r == nil {
+		t.Fatal("declined request not enqueued")
+	}
+	if offered == nil {
+		t.Fatal("hook not consulted")
+	}
+	divert = true
+	if r := q.Arrive(); r != nil {
+		t.Error("diverted request still enqueued")
+	}
+	if q.Offloaded() != 1 {
+		t.Errorf("Offloaded=%d want 1", q.Offloaded())
+	}
+	engine.Run()
+	// Only the locally-admitted request is measured.
+	if q.Completed() != 1 || q.Waits.Count() != 1 {
+		t.Errorf("completed=%d waits=%d want 1, 1", q.Completed(), q.Waits.Count())
+	}
+}
+
+func TestArriveOffloadedBypassesHook(t *testing.T) {
+	engine, cl, q := testSetup(t)
+	addRunning(t, cl, q, 1000)
+	q.Offload = func(*Request) bool { return true }
+	if r := q.ArriveOffloaded(); r == nil {
+		t.Fatal("offloaded arrival was diverted")
+	}
+	engine.Run()
+	if q.Completed() != 1 {
+		t.Errorf("completed=%d want 1", q.Completed())
+	}
+	if q.Offloaded() != 0 {
+		t.Errorf("Offloaded=%d want 0", q.Offloaded())
+	}
+}
+
+func TestRequestDoneFiresOnCompletion(t *testing.T) {
+	engine, cl, q := testSetup(t)
+	addRunning(t, cl, q, 1000)
+	r := q.Arrive()
+	var done *Request
+	r.Done = func(r *Request) { done = r }
+	engine.Run()
+	if done != r {
+		t.Fatal("Done callback did not fire with the completed request")
+	}
+	if done.Finish <= done.Arrival {
+		t.Errorf("Finish %v not after Arrival %v", done.Finish, done.Arrival)
+	}
+}
+
+func TestServiceCapacitySumsAttachedRates(t *testing.T) {
+	_, cl, q := testSetup(t)
+	if got := q.ServiceCapacity(); got != 0 {
+		t.Errorf("empty queue capacity %v want 0", got)
+	}
+	addRunning(t, cl, q, 1000)
+	addRunning(t, cl, q, 1000)
+	// Two standard containers at 100ms mean service: 20 req/s.
+	want := 2 * q.Spec().RateAt(1.0)
+	if got := q.ServiceCapacity(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("capacity %v want %v", got, want)
+	}
+}

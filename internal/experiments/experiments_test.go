@@ -368,3 +368,32 @@ func TestOptionsDur(t *testing.T) {
 		t.Error("full duration not selected")
 	}
 }
+
+func TestFederationShapeHolds(t *testing.T) {
+	tab, err := Federation(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := func(policy string) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == policy && row[1] == "all" {
+				v, err := strconv.ParseFloat(row[len(row)-1], 64)
+				if err != nil {
+					t.Fatalf("bad violation rate %q: %v", row[len(row)-1], err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("no aggregate row for policy %q", policy)
+		return 0
+	}
+	never := rate("never")
+	for _, policy := range []string{"cloud-only", "nearest-peer", "model-driven"} {
+		if r := rate(policy); r >= never {
+			t.Errorf("%s violation rate %.4f not below never baseline %.4f", policy, r, never)
+		}
+	}
+	if never < 0.05 {
+		t.Errorf("never-policy violation rate %.4f too low: the burst should overload edge-0", never)
+	}
+}

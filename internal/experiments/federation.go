@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/core"
+	"lass/internal/federation"
+	"lass/internal/functions"
+	"lass/internal/workload"
+)
+
+// federationSites builds the three-site scenario the offload sweep runs
+// on: every site serves SqueezeNet on a one-node edge box (4 cores ≈ 40
+// req/s of capacity); site edge-0 takes a 3×-overload burst mid-run while
+// its two peers stay lightly loaded, so shedding has both a nearby
+// absorber and a cloud fallback to choose from.
+func federationSites(opt Options, unit time.Duration) ([]core.Config, time.Duration, error) {
+	spec, err := functions.ByName("squeezenet")
+	if err != nil {
+		return nil, 0, err
+	}
+	end := 9 * unit
+	rates := [][]workload.Step{
+		{{Start: 0, Rate: 20}, {Start: 3 * unit, Rate: 120}, {Start: 6 * unit, Rate: 20}},
+		{{Start: 0, Rate: 10}},
+		{{Start: 0, Rate: 10}},
+	}
+	var sites []core.Config
+	for i, steps := range rates {
+		wl, err := workload.NewSteps(steps)
+		if err != nil {
+			return nil, 0, err
+		}
+		sites = append(sites, core.Config{
+			Cluster:    cluster.Config{Nodes: 1, CPUPerNode: 4000, MemPerNode: 8192, Policy: cluster.WorstFit},
+			Controller: controller.Config{MinContainers: 1},
+			Seed:       opt.Seed ^ uint64(0xfed1+i),
+			Functions:  []core.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+		})
+	}
+	return sites, end, nil
+}
+
+// Federation sweeps the four offload policies over the three-site
+// edge–cloud scenario and reports, per policy and site, where requests
+// were served and the end-to-end SLO-violation rate (response time
+// including network RTT, 250 ms deadline).
+//
+// The never policy is additionally cross-checked against standalone
+// single-cluster runs of the same per-site configurations: the federation
+// must reproduce those results bit-for-bit, or the experiment fails.
+func Federation(opt Options) (*Table, error) {
+	t := &Table{
+		ID:    "federation",
+		Title: "Edge–cloud federation: offload policy sweep (3 edge sites + cloud)",
+		Header: []string{"policy", "site", "arrivals", "local", "to-peer", "to-cloud",
+			"p95 resp ms", "violation rate"},
+	}
+	unit := opt.dur(time.Minute, 10*time.Second)
+	for _, policy := range federation.Policies() {
+		sites, end, err := federationSites(opt, unit)
+		if err != nil {
+			return nil, err
+		}
+		fed, err := federation.New(federation.Config{
+			Sites:  sites,
+			Policy: policy,
+			Seed:   opt.Seed ^ 0xfedc,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := fed.Run(end)
+		if err != nil {
+			return nil, err
+		}
+		if policy == federation.Never {
+			if err := checkNeverBaseline(opt, unit, res); err != nil {
+				return nil, err
+			}
+		}
+		var arrivals, local, toPeer, toCloud, violated, total uint64
+		for _, s := range res.Sites {
+			sa := s.Core.Functions["squeezenet"].Arrivals
+			arrivals += sa
+			local += s.ServedLocal
+			toPeer += s.OffloadedPeer
+			toCloud += s.OffloadedCloud
+			// Unresolved requests (still backlogged at run end) count as
+			// violations: excluding them would flatter exactly the
+			// policies that strand the most work.
+			violated += s.Violations()
+			total += s.SLO.Total() + s.Unresolved
+			t.AddRow(policy.String(), s.Name,
+				fmt.Sprintf("%d", sa),
+				fmt.Sprintf("%d", s.ServedLocal),
+				fmt.Sprintf("%d", s.OffloadedPeer),
+				fmt.Sprintf("%d", s.OffloadedCloud),
+				msF(s.Responses.Quantile(0.95)),
+				fmt.Sprintf("%.4f", s.ViolationRate()))
+		}
+		t.AddRow(policy.String(), "all",
+			fmt.Sprintf("%d", arrivals),
+			fmt.Sprintf("%d", local),
+			fmt.Sprintf("%d", toPeer),
+			fmt.Sprintf("%d", toCloud),
+			"",
+			fmt.Sprintf("%.4f", violationRate(violated, total)))
+	}
+	t.AddNote("policy=never verified bit-for-bit against standalone single-cluster runs of each site")
+	t.AddNote("end-to-end SLO: response (network RTT included) within 250 ms; edge-0 bursts to 3x capacity mid-run")
+	t.AddNote("requests still unserved at run end count as violations, so backlogged policies are not flattered by survivorship")
+	return t, nil
+}
+
+func violationRate(violated, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(violated) / float64(total)
+}
+
+// checkNeverBaseline re-runs each site of the never-policy federation as a
+// standalone single-cluster platform and demands identical measurements —
+// the acceptance bar for the federation layer being a pure superset of the
+// existing stack.
+func checkNeverBaseline(opt Options, unit time.Duration, fres *federation.Result) error {
+	sites, end, err := federationSites(opt, unit)
+	if err != nil {
+		return err
+	}
+	for i, cfg := range sites {
+		p, err := core.New(cfg)
+		if err != nil {
+			return err
+		}
+		want, err := p.Run(end)
+		if err != nil {
+			return err
+		}
+		got := fres.Sites[i].Core.Functions["squeezenet"]
+		ref := want.Functions["squeezenet"]
+		switch {
+		case got.Arrivals != ref.Arrivals:
+			return fmt.Errorf("federation: never-policy site %d arrivals %d != standalone %d", i, got.Arrivals, ref.Arrivals)
+		case got.Completed != ref.Completed:
+			return fmt.Errorf("federation: never-policy site %d completed %d != standalone %d", i, got.Completed, ref.Completed)
+		case got.Waits.Quantile(0.95) != ref.Waits.Quantile(0.95):
+			return fmt.Errorf("federation: never-policy site %d P95 wait %v != standalone %v",
+				i, got.Waits.Quantile(0.95), ref.Waits.Quantile(0.95))
+		case got.SLO.Violations() != ref.SLO.Violations():
+			return fmt.Errorf("federation: never-policy site %d SLO violations %d != standalone %d",
+				i, got.SLO.Violations(), ref.SLO.Violations())
+		}
+	}
+	return nil
+}

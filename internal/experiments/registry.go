@@ -20,6 +20,7 @@ var Registry = map[string]Runner{
 	"fig7":               Fig7,
 	"fig8":               Fig8,
 	"fig9":               Fig9,
+	"federation":         Federation,
 	"openwhisk":          OpenWhisk,
 	"ablation-estimator": AblationEstimator,
 	"ablation-placement": AblationPlacement,

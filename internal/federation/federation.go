@@ -1,0 +1,469 @@
+// Package federation simulates a multi-cluster edge–cloud deployment: N
+// edge sites, each running the unmodified LaSS controller/cluster/dispatch
+// stack, plus an elastic but high-latency cloud backend. A per-request
+// placement layer decides at each site's ingress whether to serve locally,
+// offload to a peer edge site (paying an RTT penalty), or fall back to the
+// cloud when the local site is over capacity or the backlog predicts an
+// SLO miss.
+//
+// The paper (§3.4) evaluates admission control on a single
+// resource-constrained cluster; this package opens the scenario family of
+// Das et al., "Performance Optimization for Edge-Cloud Serverless
+// Platforms via Dynamic Task Placement" (2020): dynamic edge↔cloud
+// placement. Every site shares one deterministic sim.Engine, so federated
+// runs are exactly reproducible, and with Policy Never each site behaves
+// bit-for-bit like a standalone single-cluster simulation.
+//
+// Edge sites are arranged on a ring: the one-way RTT between sites i and j
+// is Config.PeerRTT times their ring distance, which gives "nearest peer"
+// a concrete meaning without a full latency matrix. The cloud is modelled
+// as infinitely elastic standard-size capacity behind Config.CloudRTT —
+// offloaded requests never queue there, they only pay the network.
+package federation
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"lass/internal/core"
+	"lass/internal/dispatch"
+	"lass/internal/functions"
+	"lass/internal/metrics"
+	"lass/internal/sim"
+	"lass/internal/xrand"
+)
+
+// Policy selects the per-request offload placement policy.
+type Policy int
+
+const (
+	// Never serves every request at its ingress site — the single-cluster
+	// baseline.
+	Never Policy = iota
+	// CloudOnly sheds to the cloud when the ingress site is overloaded.
+	CloudOnly
+	// NearestPeer sheds to the closest peer site with headroom, falling
+	// back to the cloud when no peer can absorb the work.
+	NearestPeer
+	// ModelDriven predicts the response time at every candidate location
+	// (backlog drain time plus RTT) and offloads to the best one whenever
+	// the local prediction misses the response SLO.
+	ModelDriven
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case Never:
+		return "never"
+	case CloudOnly:
+		return "cloud-only"
+	case NearestPeer:
+		return "nearest-peer"
+	case ModelDriven:
+		return "model-driven"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// ParsePolicy returns the policy named by s.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("federation: unknown offload policy %q", s)
+}
+
+// Policies returns all placement policies in sweep order.
+func Policies() []Policy { return []Policy{Never, CloudOnly, NearestPeer, ModelDriven} }
+
+// Config describes a federated deployment.
+type Config struct {
+	// Sites configures one core platform per edge site. Site i's cluster
+	// is named "edge-i" unless its Cluster.Site is already set. Any
+	// Engine set on a site config is replaced by the federation's shared
+	// engine.
+	Sites []core.Config
+	// Policy is the placement policy applied at every site's ingress.
+	Policy Policy
+	// PeerRTT is the one-way RTT between ring-adjacent edge sites
+	// (default 5ms); sites at ring distance d pay d×PeerRTT each way.
+	PeerRTT time.Duration
+	// CloudRTT is the one-way RTT from any edge site to the cloud
+	// backend (default 50ms).
+	CloudRTT time.Duration
+	// ResponseSLO is the end-to-end response deadline the federation
+	// accounts violations against, network RTT included (default 250ms).
+	// This is deliberately a response-time SLO, unlike the controller's
+	// waiting-time SLO: offloading trades queueing delay for network
+	// delay, and only an end-to-end metric ranks that trade fairly.
+	ResponseSLO time.Duration
+	// OverloadQueueDepth is the per-container backlog beyond which an
+	// epoch-level overloaded site starts shedding (default 4).
+	OverloadQueueDepth int
+	// Seed drives the cloud backend's service-time sampling.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.PeerRTT == 0 {
+		c.PeerRTT = 5 * time.Millisecond
+	}
+	if c.CloudRTT == 0 {
+		c.CloudRTT = 50 * time.Millisecond
+	}
+	if c.ResponseSLO == 0 {
+		c.ResponseSLO = 250 * time.Millisecond
+	}
+	if c.OverloadQueueDepth == 0 {
+		c.OverloadQueueDepth = 4
+	}
+}
+
+// Site is one edge deployment inside the federation.
+type Site struct {
+	Name     string
+	Index    int
+	Platform *core.Platform
+
+	// Responses and SLO account end-to-end latency (RTT included) for
+	// every request that entered the federation at this site, wherever
+	// it was served.
+	Responses *metrics.Reservoir
+	SLO       *metrics.SLOTracker
+
+	// ServedLocal counts ingress requests served on this site's own
+	// cluster; OffloadedPeer and OffloadedCloud count ingress requests
+	// placed elsewhere; PeerServed counts requests this site absorbed on
+	// behalf of overloaded peers.
+	ServedLocal    uint64
+	OffloadedPeer  uint64
+	OffloadedCloud uint64
+	PeerServed     uint64
+
+	peers []*Site // other sites, ascending RTT, ties by index
+}
+
+// Federation is an assembled multi-cluster deployment.
+type Federation struct {
+	Engine *sim.Engine
+	Sites  []*Site
+
+	cfg         Config
+	cloudRng    *xrand.Rand
+	cloudServed uint64
+}
+
+// New assembles a federation: every site's platform is built on one shared
+// engine and its dispatch queues are wired to the placement layer.
+func New(cfg Config) (*Federation, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("federation: no sites configured")
+	}
+	cfg.fillDefaults()
+	engine := sim.NewEngine()
+	f := &Federation{
+		Engine:   engine,
+		cfg:      cfg,
+		cloudRng: xrand.New(cfg.Seed ^ 0xfed0),
+	}
+	for i, sc := range cfg.Sites {
+		sc.Engine = engine
+		if sc.Cluster.Site == "" {
+			sc.Cluster.Site = fmt.Sprintf("edge-%d", i)
+		}
+		p, err := core.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("federation: site %d: %w", i, err)
+		}
+		s := &Site{
+			Name:      sc.Cluster.Site,
+			Index:     i,
+			Platform:  p,
+			Responses: metrics.NewReservoir(),
+			SLO:       metrics.NewSLOTracker(cfg.ResponseSLO),
+		}
+		f.Sites = append(f.Sites, s)
+	}
+	for _, s := range f.Sites {
+		s.peers = f.peersByRTT(s)
+		for _, fc := range f.cfg.Sites[s.Index].Functions {
+			f.wire(s, s.Platform.Queues[fc.Spec.Name])
+		}
+	}
+	return f, nil
+}
+
+// rtt returns the one-way RTT between edge sites i and j: ring distance
+// times PeerRTT.
+func (f *Federation) rtt(i, j int) time.Duration {
+	if i == j {
+		return 0
+	}
+	n := len(f.cfg.Sites)
+	d := i - j
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return time.Duration(d) * f.cfg.PeerRTT
+}
+
+// peersByRTT returns the other sites ordered by ascending RTT from s,
+// breaking ties by site index, so "nearest peer" scans are deterministic.
+func (f *Federation) peersByRTT(s *Site) []*Site {
+	peers := make([]*Site, 0, len(f.Sites)-1)
+	for _, p := range f.Sites {
+		if p != s {
+			peers = append(peers, p)
+		}
+	}
+	sort.SliceStable(peers, func(i, j int) bool {
+		ri, rj := f.rtt(s.Index, peers[i].Index), f.rtt(s.Index, peers[j].Index)
+		if ri != rj {
+			return ri < rj
+		}
+		return peers[i].Index < peers[j].Index
+	})
+	return peers
+}
+
+// wire installs the placement hook on one site queue.
+func (f *Federation) wire(s *Site, q *dispatch.Queue) {
+	spec := q.Spec()
+	q.Offload = func(r *dispatch.Request) bool {
+		target, toCloud := f.place(s, q)
+		switch {
+		case toCloud:
+			f.offloadToCloud(s, spec, r)
+			return true
+		case target != nil:
+			f.offloadToPeer(s, target, spec.Name, r)
+			return true
+		default:
+			s.ServedLocal++
+			r.Done = func(r *dispatch.Request) { s.observe(r.Response()) }
+			return false
+		}
+	}
+}
+
+// observe records one end-to-end response attributed to the ingress site.
+func (s *Site) observe(resp time.Duration) {
+	s.Responses.AddDuration(resp)
+	s.SLO.Observe(resp)
+}
+
+// overloaded reports whether site s cannot absorb more work for fn right
+// now: nothing servable with work already waiting, or the controller's
+// capacity headroom is exhausted and the backlog exceeds the shed depth.
+func (f *Federation) overloaded(s *Site, fn string) bool {
+	q := s.Platform.Queues[fn]
+	n := q.Containers()
+	if n == 0 {
+		// An empty pool can serve nothing: shed immediately (and refuse
+		// peer work) rather than strand requests in a queue no container
+		// may ever drain.
+		return true
+	}
+	if !s.Platform.Controller.Overloaded() {
+		return false
+	}
+	return q.QueueLength() >= f.cfg.OverloadQueueDepth*n
+}
+
+// accepts reports whether peer p can take offloaded fn work: it serves the
+// function, is not itself overloaded, and its controller reports spare
+// capacity.
+func (f *Federation) accepts(p *Site, fn string) bool {
+	if _, ok := p.Platform.Queues[fn]; !ok {
+		return false
+	}
+	return !f.overloaded(p, fn) && p.Platform.Controller.Headroom() > 0
+}
+
+// predictResponse estimates the end-to-end response time (seconds) of
+// serving one more fn request at site s, extraRTT included: current
+// backlog drained at the pool's aggregate service rate, plus one mean
+// service time.
+func (f *Federation) predictResponse(s *Site, fn string, extraRTT time.Duration) float64 {
+	q, ok := s.Platform.Queues[fn]
+	if !ok {
+		return math.Inf(1)
+	}
+	capacity := q.ServiceCapacity()
+	if capacity <= 0 {
+		return math.Inf(1)
+	}
+	backlog := float64(q.QueueLength() + q.InFlight())
+	// The request's own service term uses the pool's average per-container
+	// rate (n/capacity), not the standard-size mean, so predictions stay
+	// honest on deflated pools — which are exactly the overloaded sites
+	// where the placement decision matters. For an undeflated pool this
+	// reduces to the standard mean service time.
+	return extraRTT.Seconds() + (backlog+float64(q.Containers()))/capacity
+}
+
+// place decides where an ingress request at site s should be served:
+// locally (nil, false), at a peer (peer, false), or in the cloud
+// (nil, true).
+func (f *Federation) place(s *Site, q *dispatch.Queue) (*Site, bool) {
+	fn := q.Spec().Name
+	switch f.cfg.Policy {
+	case CloudOnly:
+		if f.overloaded(s, fn) {
+			return nil, true
+		}
+	case NearestPeer:
+		if !f.overloaded(s, fn) {
+			return nil, false
+		}
+		for _, p := range s.peers {
+			if f.accepts(p, fn) {
+				return p, false
+			}
+		}
+		return nil, true
+	case ModelDriven:
+		deadline := f.cfg.ResponseSLO.Seconds()
+		local := f.predictResponse(s, fn, 0)
+		if local <= deadline {
+			return nil, false
+		}
+		// Predicted SLO miss: pick the fastest alternative, local
+		// included — offloading must actually help.
+		var best *Site
+		bestResp := local
+		for _, p := range s.peers {
+			if resp := f.predictResponse(p, fn, 2*f.rtt(s.Index, p.Index)); resp < bestResp {
+				best, bestResp = p, resp
+			}
+		}
+		cloud := (2*f.cfg.CloudRTT + q.Spec().MeanServiceTimeAt(1.0)).Seconds()
+		if cloud < bestResp {
+			return nil, true
+		}
+		return best, false
+	}
+	return nil, false
+}
+
+// offloadToPeer ships the request to the target site: it arrives there one
+// RTT later, counts toward the target's rate estimator (the target must
+// provision for it), and its recorded end-to-end response includes both
+// network legs.
+func (f *Federation) offloadToPeer(origin, target *Site, fn string, r *dispatch.Request) {
+	origin.OffloadedPeer++
+	rtt := f.rtt(origin.Index, target.Index)
+	arrival := r.Arrival
+	f.Engine.After(rtt, func() {
+		target.PeerServed++
+		target.Platform.Controller.RecordArrival(fn)
+		pr := target.Platform.Queues[fn].ArriveOffloaded()
+		pr.Done = func(pr *dispatch.Request) {
+			origin.observe(pr.Finish - arrival + rtt)
+		}
+	})
+}
+
+// offloadToCloud serves the request on the elastic backend: one standard
+// container's sampled service time behind a cloud round trip, no queueing.
+func (f *Federation) offloadToCloud(origin *Site, spec functions.Spec, r *dispatch.Request) {
+	origin.OffloadedCloud++
+	f.cloudServed++
+	service := spec.SampleServiceTime(f.cloudRng, 1.0)
+	arrival := r.Arrival
+	f.Engine.After(2*f.cfg.CloudRTT+service, func() {
+		origin.observe(f.Engine.Now() - arrival)
+	})
+}
+
+// SiteResult is one site's view of a federated run.
+type SiteResult struct {
+	Name string
+	// Core holds the site's standalone-platform results: queue latency,
+	// allocation series, controller stats for the locally served share.
+	Core *core.Result
+	// Responses and SLO are the end-to-end measurements for ingress at
+	// this site, wherever the requests were served.
+	Responses *metrics.Reservoir
+	SLO       *metrics.SLOTracker
+
+	ServedLocal    uint64
+	OffloadedPeer  uint64
+	OffloadedCloud uint64
+	PeerServed     uint64
+
+	// Unresolved counts ingress requests that never completed before the
+	// run ended — still queued, in service, in the network, or killed by
+	// a time limit. They are excluded from Responses/SLO (which observe
+	// completions only); a backlogged policy can strand thousands of its
+	// worst-latency requests here, so honest SLO comparisons must count
+	// them as misses rather than ignore them.
+	Unresolved uint64
+}
+
+// Violations returns the SLO miss count with unresolved ingress requests
+// counted as misses: a request still unserved when the run ends has, by
+// construction, not met a response deadline shorter than the run.
+func (r SiteResult) Violations() uint64 { return r.SLO.Violations() + r.Unresolved }
+
+// ViolationRate returns Violations over all accounted ingress requests
+// (completed plus unresolved), or 0 when nothing arrived.
+func (r SiteResult) ViolationRate() float64 {
+	total := r.SLO.Total() + r.Unresolved
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Violations()) / float64(total)
+}
+
+// Result is the outcome of a federated run.
+type Result struct {
+	Policy      Policy
+	Duration    time.Duration
+	Sites       []SiteResult
+	CloudServed uint64
+}
+
+// Run drives all sites on the shared engine for the given simulated
+// duration and collects per-site results.
+func (f *Federation) Run(duration time.Duration) (*Result, error) {
+	for _, s := range f.Sites {
+		s.Platform.Start()
+	}
+	f.Engine.RunUntil(duration)
+	res := &Result{Policy: f.cfg.Policy, Duration: duration, CloudServed: f.cloudServed}
+	for _, s := range f.Sites {
+		cr, err := s.Platform.Collect(duration)
+		if err != nil {
+			return nil, fmt.Errorf("federation: site %s: %w", s.Name, err)
+		}
+		var ingress uint64
+		for _, fr := range cr.Functions {
+			ingress += fr.Arrivals
+		}
+		var unresolved uint64
+		if observed := s.SLO.Total(); ingress > observed {
+			unresolved = ingress - observed
+		}
+		res.Sites = append(res.Sites, SiteResult{
+			Name:           s.Name,
+			Core:           cr,
+			Responses:      s.Responses,
+			SLO:            s.SLO,
+			ServedLocal:    s.ServedLocal,
+			OffloadedPeer:  s.OffloadedPeer,
+			OffloadedCloud: s.OffloadedCloud,
+			PeerServed:     s.PeerServed,
+			Unresolved:     unresolved,
+		})
+	}
+	return res, nil
+}

@@ -33,13 +33,19 @@ type Event struct {
 	fn   func()
 	dead bool
 	idx  int
+	eng  *Engine
 }
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Event) Cancel() {
-	if e != nil {
-		e.dead = true
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.eng != nil && e.idx >= 0 {
+		e.eng.dead++
+		e.eng.maybeCompact()
 	}
 }
 
@@ -73,6 +79,7 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
+	e.idx = -1
 	*h = old[:n-1]
 	return e
 }
@@ -85,6 +92,7 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+	dead   int // cancelled events still in the heap
 }
 
 // NewEngine returns an engine with the virtual clock at zero.
@@ -109,10 +117,39 @@ func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// maybeCompact rebuilds the heap without cancelled events once they
+// outnumber the live ones. This bounds Pending() at roughly twice the live
+// event count on long runs that cancel heavily (periodic tasks stopped,
+// in-flight work aborted), instead of letting dead events pile up until
+// their timestamps are popped. Amortized cost is O(1) per cancellation:
+// after a compaction the heap must shrink-by-cancel to half again before
+// the next one.
+func (e *Engine) maybeCompact() {
+	if e.dead*2 <= len(e.events) {
+		return
+	}
+	old := e.events
+	live := old[:0]
+	for _, ev := range old {
+		if ev.dead {
+			ev.idx = -1
+			continue
+		}
+		ev.idx = len(live)
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(old); i++ {
+		old[i] = nil
+	}
+	e.events = live
+	e.dead = 0
+	heap.Init(&e.events)
 }
 
 // After queues fn to run d after the current virtual time.
@@ -134,10 +171,15 @@ func (e *Engine) Every(period time.Duration, fn func()) *Task {
 	return t
 }
 
-// EveryFrom behaves like Every but fires the first tick at start.
+// EveryFrom behaves like Every but fires the first tick at start. A start
+// before the current virtual time is clamped to now, mirroring After's
+// treatment of negative delays.
 func (e *Engine) EveryFrom(start, period time.Duration, fn func()) *Task {
 	if period <= 0 {
 		panic("sim: EveryFrom with non-positive period")
+	}
+	if start < e.now {
+		start = e.now
 	}
 	t := &Task{engine: e, period: period, fn: fn}
 	t.ev = e.Schedule(start, t.tick)
@@ -179,6 +221,7 @@ func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
 		ev := heap.Pop(&e.events).(*Event)
 		if ev.dead {
+			e.dead--
 			continue
 		}
 		e.now = ev.at
@@ -198,6 +241,7 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		next := e.events[0]
 		if next.dead {
 			heap.Pop(&e.events)
+			e.dead--
 			continue
 		}
 		if next.at > deadline {

@@ -125,6 +125,81 @@ func TestEveryFrom(t *testing.T) {
 	}
 }
 
+func TestEveryFromPastStartClamps(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*time.Second, func() {})
+	e.Run() // clock now at 10s
+	var times []time.Duration
+	task := e.EveryFrom(4*time.Second, 3*time.Second, func() { times = append(times, e.Now()) })
+	e.RunUntil(17 * time.Second)
+	task.Stop()
+	// Start clamps to now (10s), like After clamps negative delays.
+	want := []time.Duration{10 * time.Second, 13 * time.Second, 16 * time.Second}
+	if len(times) != len(want) {
+		t.Fatalf("ticks at %v want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("tick %d at %v want %v", i, times[i], want[i])
+		}
+	}
+}
+
+func TestCancelCompactsHeap(t *testing.T) {
+	e := NewEngine()
+	const total, keep = 1000, 10
+	events := make([]*Event, 0, total)
+	fired := 0
+	for i := 0; i < total; i++ {
+		events = append(events, e.Schedule(time.Hour, func() { fired++ }))
+	}
+	for i := keep; i < total; i++ {
+		events[i].Cancel()
+	}
+	// Compaction keeps dead events at no more than half the heap, so
+	// Pending is bounded by twice the live count (plus one for an odd
+	// heap) instead of holding all 990 corpses until they are popped.
+	if bound := 2*keep + 1; e.Pending() > bound {
+		t.Errorf("Pending=%d after cancelling %d of %d, want <= %d", e.Pending(), total-keep, total, bound)
+	}
+	e.Run()
+	if fired != keep {
+		t.Errorf("fired=%d want %d", fired, keep)
+	}
+}
+
+func TestStopCompactsHeap(t *testing.T) {
+	e := NewEngine()
+	var tasks []*Task
+	for i := 0; i < 500; i++ {
+		tasks = append(tasks, e.Every(time.Hour, func() {}))
+	}
+	for _, task := range tasks {
+		task.Stop()
+	}
+	if e.Pending() > 1 {
+		t.Errorf("Pending=%d after stopping every task, want <= 1", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 0 {
+		t.Errorf("Fired=%d want 0", e.Fired())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	e.Run()
+	ev.Cancel() // already fired: must not corrupt the dead-event counter
+	ev.Cancel()
+	e.Schedule(3*time.Second, func() {})
+	e.Run()
+	if e.Fired() != 3 {
+		t.Errorf("Fired=%d want 3", e.Fired())
+	}
+}
+
 func TestEveryInvalidPeriodPanics(t *testing.T) {
 	e := NewEngine()
 	defer func() {

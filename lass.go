@@ -12,7 +12,10 @@
 //     edge deployment — cluster, data path, controller — driven by a
 //     deterministic discrete-event engine;
 //   - the function catalog of the paper's evaluation (Catalog, Table 1);
-//   - workload generators (§6.1) and Azure-schema trace tooling (§6.7).
+//   - workload generators (§6.1) and Azure-schema trace tooling (§6.7);
+//   - multi-cluster edge–cloud federation (NewFederation): N edge sites
+//     plus an elastic cloud backend with per-request dynamic offload,
+//     after Das et al.'s edge-cloud task placement (2020).
 //
 // # Quick start
 //
@@ -36,6 +39,7 @@ import (
 	"lass/internal/cluster"
 	"lass/internal/controller"
 	"lass/internal/core"
+	"lass/internal/federation"
 	"lass/internal/functions"
 	"lass/internal/queuing"
 	"lass/internal/workload"
@@ -118,6 +122,53 @@ func StepWorkload(steps []WorkloadStep) (*Workload, error) { return workload.New
 // format) into a workload.
 func TraceWorkload(perMinuteCounts []float64) (*Workload, error) {
 	return workload.FromPerMinuteCounts(perMinuteCounts)
+}
+
+// FederationConfig describes a multi-cluster edge–cloud deployment: N
+// edge sites (each a complete SimulationConfig) plus an elastic cloud
+// backend and a per-request offload policy.
+type FederationConfig = federation.Config
+
+// Federation is an assembled multi-cluster deployment; Run drives every
+// site on one shared deterministic engine.
+type Federation = federation.Federation
+
+// FederationResult is the outcome of a federated run.
+type FederationResult = federation.Result
+
+// FederationSiteResult is one edge site's view of a federated run.
+type FederationSiteResult = federation.SiteResult
+
+// OffloadPolicy selects how each site's ingress places requests: serve
+// locally, offload to a peer edge site, or fall back to the cloud.
+type OffloadPolicy = federation.Policy
+
+// Offload policies.
+const (
+	// OffloadNever serves everything at its ingress site (the
+	// single-cluster baseline).
+	OffloadNever = federation.Never
+	// OffloadCloudOnly sheds to the cloud when the ingress site is
+	// overloaded.
+	OffloadCloudOnly = federation.CloudOnly
+	// OffloadNearestPeer sheds to the closest peer with headroom, then
+	// the cloud.
+	OffloadNearestPeer = federation.NearestPeer
+	// OffloadModelDriven offloads wherever the predicted response
+	// (backlog drain plus RTT) is best once the local prediction misses
+	// the SLO.
+	OffloadModelDriven = federation.ModelDriven
+)
+
+// NewFederation assembles a simulated multi-cluster edge–cloud deployment.
+func NewFederation(cfg FederationConfig) (*Federation, error) {
+	return federation.New(cfg)
+}
+
+// ParseOffloadPolicy returns the offload policy named by s
+// ("never", "cloud-only", "nearest-peer", "model-driven").
+func ParseOffloadPolicy(s string) (OffloadPolicy, error) {
+	return federation.ParsePolicy(s)
 }
 
 // RequiredContainers runs the paper's Algorithm 1: the number of
