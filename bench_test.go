@@ -10,6 +10,7 @@
 package lass
 
 import (
+	"strconv"
 	"testing"
 	"time"
 
@@ -89,6 +90,26 @@ func BenchmarkFig9AzureTrace(b *testing.B) {
 
 func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
 	runExperiment(b, "openwhisk")
+}
+
+// BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
+// same harness behind the committed BENCH_federation.json baseline, which
+// is generated at seed 1 rather than this file's seed 42) and reports the
+// model-driven policy's aggregate violation rate.
+func BenchmarkFederationSweep(b *testing.B) {
+	tab := runExperiment(b, "federation")
+	for _, row := range tab.Rows {
+		if row[0] == "model-driven" && row[1] == "all" {
+			if v, err := strconv.ParseFloat(row[len(row)-1], 64); err == nil {
+				b.ReportMetric(v, "model-driven-violation-rate")
+			}
+		}
+	}
+}
+
+// BenchmarkFederationTrace runs the trace-driven sweep.
+func BenchmarkFederationTrace(b *testing.B) {
+	runExperiment(b, "federation-trace")
 }
 
 func BenchmarkAblationEstimator(b *testing.B) {

@@ -9,11 +9,18 @@
 //	lass-sim -functions mobilenet-v2:20 -policy termination -nodes 3
 //	lass-sim -functions binaryalert:80 -trace traces.csv   # Azure CSV rates
 //	lass-sim -federation -out federation.csv               # offload sweep
+//	lass-sim -federation -fed-trace -topology star         # trace-driven, star topology
+//	lass-sim -federation -quick -json BENCH_federation.json
 //
 // With -federation the command runs the multi-cluster edge–cloud offload
-// experiment instead: three edge sites plus an elastic cloud, sweeping the
-// never / cloud-only / nearest-peer / model-driven placement policies, and
-// writes the comparison (including per-policy SLO-violation rates) as CSV.
+// experiment instead: three edge sites plus a cloud backend with warm-pool
+// cold starts and per-invocation pricing, sweeping the never / cloud-only
+// / nearest-peer / model-driven placement policies, and writes the
+// comparison (per-policy SLO-violation rates, cloud cold starts and cost)
+// as CSV and optionally JSON. -fed-trace drives each site from its own
+// Azure-format trace row (synthesized deterministically, or row i of the
+// -trace CSV); -topology selects the inter-site latency model (ring|star);
+// the -cloud-* flags tune the cloud's warm window and price points.
 package main
 
 import (
@@ -42,29 +49,65 @@ func main() {
 		mem        = flag.Int64("mem", 16384, "MiB per node")
 		policy     = flag.String("policy", "deflation", "reclamation policy: deflation|termination")
 		seed       = flag.Uint64("seed", 1, "random seed")
-		trace      = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i")
+		trace      = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i (ad-hoc mode) or site i (-fed-trace)")
 		fed        = flag.Bool("federation", false, "run the edge-cloud federation offload-policy sweep")
+		fedTrace   = flag.Bool("fed-trace", false, "with -federation: drive each site from its own Azure-format trace row")
+		topology   = flag.String("topology", "ring", "with -federation: inter-site latency topology (ring|star)")
+		cloudWarm  = flag.Duration("cloud-warm", 0, "with -federation: cloud warm-instance keep-alive window (0 = default 10m, negative = no keep-alive)")
+		alwaysWarm = flag.Bool("cloud-always-warm", false, "with -federation: legacy idealized cloud without cold starts")
+		priceInv   = flag.Float64("cloud-price-invocation", 0, "with -federation: $ per cloud invocation (0 = default $0.20/M, negative = free)")
+		priceGBs   = flag.Float64("cloud-price-gbsec", 0, "with -federation: $ per GB-second of cloud execution (0 = default, negative = free)")
 		out        = flag.String("out", "federation.csv", "CSV output path for -federation")
+		jsonOut    = flag.String("json", "", "with -federation: also write the sweep table as JSON (e.g. BENCH_federation.json)")
 		quickSweep = flag.Bool("quick", false, "shorten the -federation sweep for smoke testing")
 	)
 	flag.Parse()
 
+	// fedOnly lists the flags that only mean something to the federation
+	// sweep; both directions of the ignored-flag warnings derive from it.
+	fedOnly := map[string]bool{"fed-trace": true, "topology": true, "cloud-warm": true,
+		"cloud-always-warm": true, "cloud-price-invocation": true, "cloud-price-gbsec": true,
+		"out": true, "json": true, "quick": true}
+
 	if *fed {
-		// The sweep's scenario is fixed; flags for the ad-hoc mode would
-		// be silently meaningless, so call them out.
-		fedFlags := map[string]bool{"federation": true, "out": true, "quick": true, "seed": true}
+		// The sweep's edge scenario is fixed; flags for the ad-hoc mode
+		// would be silently meaningless, so call them out.
+		fedFlags := map[string]bool{"federation": true, "seed": true}
+		for name := range fedOnly {
+			fedFlags[name] = true
+		}
+		if *fedTrace {
+			fedFlags["trace"] = true
+		}
 		flag.Visit(func(fl *flag.Flag) {
 			if !fedFlags[fl.Name] {
-				fmt.Fprintf(os.Stderr, "lass-sim: -%s is ignored in -federation mode (fixed 3-site scenario; only -seed, -quick, -out apply)\n", fl.Name)
+				fmt.Fprintf(os.Stderr, "lass-sim: -%s is ignored in -federation mode (fixed 3-site edge scenario)\n", fl.Name)
 			}
 		})
-		runFederation(*seed, *quickSweep, *out)
+		id := "federation"
+		tracePath := ""
+		if *fedTrace {
+			id = "federation-trace"
+			tracePath = *trace
+		}
+		runFederation(id, experiments.Options{
+			Seed:  *seed,
+			Quick: *quickSweep,
+			Fed: experiments.FedOptions{
+				Topology:                *topology,
+				TracePath:               tracePath,
+				CloudWarmWindow:         *cloudWarm,
+				CloudAlwaysWarm:         *alwaysWarm,
+				CloudPricePerInvocation: *priceInv,
+				CloudPricePerGBSecond:   *priceGBs,
+			},
+		}, *out, *jsonOut)
 		return
 	}
-	// Symmetric warning for the other direction: -out/-quick only mean
-	// something to the federation sweep.
+	// Symmetric warning for the other direction: the federation-only
+	// flags mean nothing to an ad-hoc run.
 	flag.Visit(func(fl *flag.Flag) {
-		if fl.Name == "out" || fl.Name == "quick" {
+		if fedOnly[fl.Name] {
 			fmt.Fprintf(os.Stderr, "lass-sim: -%s only applies with -federation; ignored\n", fl.Name)
 		}
 	})
@@ -152,10 +195,12 @@ func main() {
 		ops.Creations, ops.Terminations, ops.Deflations, ops.Inflations, ops.Overloads)
 }
 
-// runFederation executes the offload-policy sweep, prints the table, and
-// writes it as CSV for plotting.
-func runFederation(seed uint64, quick bool, out string) {
-	tab, err := experiments.Run("federation", experiments.Options{Seed: seed, Quick: quick})
+// runFederation executes the offload-policy sweep (synthetic or
+// trace-driven), prints the table, and writes it as CSV — and, when
+// requested, as JSON (the format of the committed BENCH_federation.json
+// baseline).
+func runFederation(id string, opt experiments.Options, out, jsonOut string) {
+	tab, err := experiments.Run(id, opt)
 	if err != nil {
 		fail(err)
 	}
@@ -172,6 +217,20 @@ func runFederation(seed uint64, quick bool, out string) {
 		fail(err)
 	}
 	fmt.Printf("wrote %s\n", out)
+	if jsonOut != "" {
+		j, err := os.Create(jsonOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := tab.WriteJSON(j); err != nil {
+			j.Close()
+			fail(err)
+		}
+		if err := j.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 }
 
 func fail(err error) {

@@ -1,10 +1,11 @@
 // Edge–cloud federation with dynamic offload. Three small edge sites run
-// SqueezeNet behind the LaSS controller; the middle of the run slams
-// site edge-0 with three times its capacity. The example runs the same
-// scenario under every offload policy — never (single-cluster baseline),
-// cloud-only, nearest-peer, and model-driven — and prints where each
-// site's requests were served and the end-to-end SLO violation rate,
-// network RTT included.
+// SqueezeNet behind the LaSS controller on a star topology (edge-0 is the
+// hub); the middle of the run slams site edge-0 with three times its
+// capacity. The example runs the same scenario under every offload policy
+// — never (single-cluster baseline), cloud-only, nearest-peer, and
+// model-driven — and prints where each site's requests were served, the
+// cloud cold starts and dollars each policy paid, and the end-to-end SLO
+// violation rate, network RTT included.
 package main
 
 import (
@@ -52,17 +53,24 @@ func main() {
 	policies := []lass.OffloadPolicy{
 		lass.OffloadNever, lass.OffloadCloudOnly, lass.OffloadNearestPeer, lass.OffloadModelDriven,
 	}
-	fmt.Printf("%-14s %-8s %8s %8s %8s %9s %11s\n",
-		"policy", "site", "local", "to-peer", "to-cloud", "peer-in", "violations")
+	fmt.Printf("%-14s %-8s %8s %8s %8s %9s %6s %10s %11s\n",
+		"policy", "site", "local", "to-peer", "to-cloud", "peer-in", "cold", "cost-$", "violations")
 	for _, pol := range policies {
 		cfgs, err := sites()
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Hub-and-spoke: the hot site edge-0 is 3 ms from each peer; the
+		// peers reach each other through it at 6 ms.
+		topo, err := lass.StarTopology(len(cfgs), 3*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fed, err := lass.NewFederation(lass.FederationConfig{
-			Sites:  cfgs,
-			Policy: pol,
-			Seed:   1,
+			Sites:    cfgs,
+			Policy:   pol,
+			Topology: topo,
+			Seed:     1,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -74,9 +82,9 @@ func main() {
 		for _, s := range res.Sites {
 			// ViolationRate counts requests still backlogged at run end as
 			// misses, so the never policy's stranded burst isn't flattered.
-			fmt.Printf("%-14s %-8s %8d %8d %8d %9d %10.1f%%\n",
+			fmt.Printf("%-14s %-8s %8d %8d %8d %9d %6d %10.6f %10.1f%%\n",
 				pol, s.Name, s.ServedLocal, s.OffloadedPeer, s.OffloadedCloud,
-				s.PeerServed, 100*s.ViolationRate())
+				s.PeerServed, s.CloudColdStarts, s.CloudCost, 100*s.ViolationRate())
 		}
 	}
 }

@@ -16,8 +16,13 @@ import (
 type ReclamationPolicy int
 
 const (
+	// DefaultPolicy defers to the paper default (Deflation, see Default).
+	// It is deliberately the zero value so a partially-specified Config
+	// runs the documented defaults instead of silently selecting
+	// Termination; opting into Termination requires naming it.
+	DefaultPolicy ReclamationPolicy = iota
 	// Termination shuts down whole containers to free capacity.
-	Termination ReclamationPolicy = iota
+	Termination
 	// Deflation shrinks containers' CPU in place, terminating only when
 	// maximum deflation is still insufficient.
 	Deflation
@@ -26,6 +31,8 @@ const (
 // String returns the policy name.
 func (p ReclamationPolicy) String() string {
 	switch p {
+	case DefaultPolicy:
+		return "default(deflation)"
 	case Termination:
 		return "termination"
 	case Deflation:
@@ -62,10 +69,12 @@ type Config struct {
 	// DrainTTL is how long an over-provisioned container stays in the
 	// lazily-reclaimed Draining state before being terminated outright.
 	DrainTTL time.Duration
-	// CappedFairShare applies the water-filling refinement that never
+	// UncappedFairShare disables the water-filling refinement that never
 	// hands an overloaded function more than its model-computed desire
-	// (see fairshare.AdjustCapped).
-	CappedFairShare bool
+	// (see fairshare.AdjustCapped). The zero value is the paper default
+	// (capped, §4.1), so partial Configs keep the documented behaviour;
+	// uncapped shares are an explicit opt-in.
+	UncappedFairShare bool
 	// UseLearnedRates makes the model consume the online service-time
 	// learner's μ estimates instead of the registered spec (§5's online
 	// learning mode) once enough observations exist.
@@ -92,7 +101,7 @@ func Default() Config {
 		Policy:             Deflation,
 		MinContainers:      0,
 		DrainTTL:           60 * time.Second,
-		CappedFairShare:    true,
+		UncappedFairShare:  false, // capped water-filling (§4.1)
 	}
 }
 
@@ -118,6 +127,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.DrainTTL == 0 {
 		c.DrainTTL = d.DrainTTL
+	}
+	if c.Policy == DefaultPolicy {
+		c.Policy = d.Policy
 	}
 }
 
@@ -524,10 +536,10 @@ func (ctl *Controller) fairShares(demands []fairshare.Demand, capacity int64) (m
 	if !hierarchical {
 		var allocs []fairshare.Allocation
 		var err error
-		if ctl.cfg.CappedFairShare {
-			allocs, err = fairshare.AdjustCapped(demands, capacity)
-		} else {
+		if ctl.cfg.UncappedFairShare {
 			allocs, err = fairshare.Adjust(demands, capacity)
+		} else {
+			allocs, err = fairshare.AdjustCapped(demands, capacity)
 		}
 		if err != nil {
 			return nil, err
@@ -567,7 +579,7 @@ func (ctl *Controller) fairShares(demands []fairshare.Demand, capacity int64) (m
 			Desired: demandOf[name],
 		})
 	}
-	return fairshare.AllocateTree(root, capacity, ctl.cfg.CappedFairShare)
+	return fairshare.AllocateTree(root, capacity, !ctl.cfg.UncappedFairShare)
 }
 
 // expireDrained terminates Draining containers older than DrainTTL.

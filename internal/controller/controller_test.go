@@ -272,6 +272,31 @@ func TestMinContainersFloor(t *testing.T) {
 	}
 }
 
+// TestPartialConfigAppliesDocumentedDefaults is the regression for the
+// silent-Termination bug: a Config that sets only unrelated fields must
+// still resolve to the paper defaults — Deflation reclamation and capped
+// fair share — exactly as the Config doc promises. Termination and
+// uncapped shares remain available, but only as explicit opt-ins.
+func TestPartialConfigAppliesDocumentedDefaults(t *testing.T) {
+	h := newHarness(t, Config{MinContainers: 1}, cluster.PaperCluster())
+	cfg := h.ctl.Config()
+	if cfg.Policy != Deflation {
+		t.Errorf("partial config resolved Policy=%v, want Deflation", cfg.Policy)
+	}
+	if cfg.UncappedFairShare {
+		t.Error("partial config resolved to uncapped fair share; capped is the default")
+	}
+	d := Default()
+	if d.Policy != Deflation || d.UncappedFairShare {
+		t.Errorf("Default() = %+v no longer paper-faithful", d)
+	}
+	// Explicit opt-ins survive default filling.
+	h2 := newHarness(t, Config{Policy: Termination, UncappedFairShare: true}, cluster.PaperCluster())
+	if got := h2.ctl.Config(); got.Policy != Termination || !got.UncappedFairShare {
+		t.Errorf("explicit Termination/uncapped overwritten: %+v", got)
+	}
+}
+
 func TestProvision(t *testing.T) {
 	h := newHarness(t, Config{}, cluster.PaperCluster())
 	spec := functions.MicroBenchmark(100 * time.Millisecond)

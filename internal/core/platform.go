@@ -66,6 +66,7 @@ type FunctionResult struct {
 	Completed  uint64
 	Requeued   uint64
 	TimedOut   uint64
+	Offloaded  uint64
 	Arrivals   uint64
 	Containers *metrics.Series // live container count over time
 	CPU        *metrics.Series // live CPU (millicores) over time
@@ -295,6 +296,7 @@ func (p *Platform) Collect(duration time.Duration) (*Result, error) {
 		r.Completed = q.Completed()
 		r.Requeued = q.Requeued()
 		r.TimedOut = q.TimedOut()
+		r.Offloaded = q.Offloaded()
 		res.Functions[name] = r
 	}
 	return res, nil

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"io"
 )
 
@@ -20,4 +21,13 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON emits the full table — header, rows, and notes — as indented
+// JSON. The committed BENCH_federation.json baseline is produced this way,
+// so CI diffs and plotting tools get a stable machine-readable format.
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
 }

@@ -79,6 +79,26 @@ func (t *Table) Fprint(w io.Writer) {
 type Options struct {
 	Seed  uint64
 	Quick bool
+	// Fed tunes the federation experiments (topology, trace source,
+	// cloud realism); the zero value keeps the defaults.
+	Fed FedOptions
+}
+
+// FedOptions are the federation-experiment knobs cmd/lass-sim exposes.
+type FedOptions struct {
+	// Topology selects the inter-site topology: "" or "ring" (the
+	// original ring-distance model) or "star" (site 0 as hub).
+	Topology string
+	// TracePath optionally drives the federation-trace experiment's
+	// sites from a real Azure-schema CSV (row i feeds site i) instead of
+	// deterministically synthesized rows.
+	TracePath string
+	// CloudWarmWindow, CloudAlwaysWarm, and the price fields pass
+	// through to federation.Config; zero values keep its defaults.
+	CloudWarmWindow         time.Duration
+	CloudAlwaysWarm         bool
+	CloudPricePerInvocation float64
+	CloudPricePerGBSecond   float64
 }
 
 // dur picks between the full (paper) and quick durations.

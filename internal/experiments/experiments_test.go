@@ -369,6 +369,53 @@ func TestOptionsDur(t *testing.T) {
 	}
 }
 
+func TestFederationTraceShapeHolds(t *testing.T) {
+	tab, err := FederationTrace(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 16 { // 4 policies x (3 sites + aggregate)
+		t.Fatalf("rows=%d want 16", len(tab.Rows))
+	}
+	agg := func(policy string) []string {
+		for _, row := range tab.Rows {
+			if row[0] == policy && row[1] == "all" {
+				return row
+			}
+		}
+		t.Fatalf("no aggregate row for policy %q", policy)
+		return nil
+	}
+	never := agg("never")
+	// Arrivals are workload-driven, so they must be identical across
+	// policies; the never policy must neither offload nor pay the cloud.
+	for _, policy := range []string{"cloud-only", "nearest-peer", "model-driven"} {
+		if got := agg(policy)[2]; got != never[2] {
+			t.Errorf("%s arrivals %s != never arrivals %s", policy, got, never[2])
+		}
+	}
+	if never[4] != "0" || never[5] != "0" || never[6] != "0" {
+		t.Errorf("never policy offloaded or cold-started: %v", never)
+	}
+	if cost, _ := strconv.ParseFloat(never[7], 64); cost != 0 {
+		t.Errorf("never policy accrued cloud cost %v", cost)
+	}
+	// Cloud-heavy policies must pay: cloud-only offloads, cold-starts at
+	// least once, and accrues nonzero cost on this overloaded scenario.
+	co := agg("cloud-only")
+	if co[5] == "0" || co[6] == "0" {
+		t.Errorf("cloud-only did not offload/cold-start: %v", co)
+	}
+	if cost, _ := strconv.ParseFloat(co[7], 64); cost <= 0 {
+		t.Errorf("cloud-only accrued no cost: %v", co)
+	}
+	neverRate, _ := strconv.ParseFloat(never[len(never)-1], 64)
+	modelRate, _ := strconv.ParseFloat(agg("model-driven")[len(never)-1], 64)
+	if modelRate >= neverRate {
+		t.Errorf("model-driven violation rate %.4f not below never %.4f", modelRate, neverRate)
+	}
+}
+
 func TestFederationShapeHolds(t *testing.T) {
 	tab, err := Federation(quick)
 	if err != nil {

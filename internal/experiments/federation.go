@@ -12,11 +12,26 @@ import (
 	"lass/internal/workload"
 )
 
-// federationSites builds the three-site scenario the offload sweep runs
-// on: every site serves SqueezeNet on a one-node edge box (4 cores ≈ 40
-// req/s of capacity); site edge-0 takes a 3×-overload burst mid-run while
-// its two peers stay lightly loaded, so shedding has both a nearby
-// absorber and a cloud fallback to choose from.
+// siteBuilder produces fresh per-site configs and the run duration for one
+// federation sweep iteration. Sweeps rebuild the sites per policy so every
+// policy sees identical seeds and schedules.
+type siteBuilder func() ([]core.Config, time.Duration, error)
+
+// edgeSite is the standard one-node edge box of the federation scenarios:
+// 4 cores ≈ 40 req/s of SqueezeNet capacity.
+func edgeSite(spec functions.Spec, wl *workload.Schedule, seed uint64) core.Config {
+	return core.Config{
+		Cluster:    cluster.Config{Nodes: 1, CPUPerNode: 4000, MemPerNode: 8192, Policy: cluster.WorstFit},
+		Controller: controller.Config{MinContainers: 1},
+		Seed:       seed,
+		Functions:  []core.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+	}
+}
+
+// federationSites builds the three-site scenario the synthetic offload
+// sweep runs on: every site serves SqueezeNet; site edge-0 takes a
+// 3×-overload burst mid-run while its two peers stay lightly loaded, so
+// shedding has both a nearby absorber and a cloud fallback to choose from.
 func federationSites(opt Options, unit time.Duration) ([]core.Config, time.Duration, error) {
 	spec, err := functions.ByName("squeezenet")
 	if err != nil {
@@ -34,61 +49,83 @@ func federationSites(opt Options, unit time.Duration) ([]core.Config, time.Durat
 		if err != nil {
 			return nil, 0, err
 		}
-		sites = append(sites, core.Config{
-			Cluster:    cluster.Config{Nodes: 1, CPUPerNode: 4000, MemPerNode: 8192, Policy: cluster.WorstFit},
-			Controller: controller.Config{MinContainers: 1},
-			Seed:       opt.Seed ^ uint64(0xfed1+i),
-			Functions:  []core.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
-		})
+		sites = append(sites, edgeSite(spec, wl, opt.Seed^uint64(0xfed1+i)))
 	}
 	return sites, end, nil
 }
 
-// Federation sweeps the four offload policies over the three-site
-// edge–cloud scenario and reports, per policy and site, where requests
-// were served and the end-to-end SLO-violation rate (response time
-// including network RTT, 250 ms deadline).
-//
-// The never policy is additionally cross-checked against standalone
-// single-cluster runs of the same per-site configurations: the federation
-// must reproduce those results bit-for-bit, or the experiment fails.
-func Federation(opt Options) (*Table, error) {
-	t := &Table{
-		ID:    "federation",
-		Title: "Edge–cloud federation: offload policy sweep (3 edge sites + cloud)",
-		Header: []string{"policy", "site", "arrivals", "local", "to-peer", "to-cloud",
-			"p95 resp ms", "violation rate"},
+// federationConfig assembles a federation.Config for the sweep, applying
+// the command-line topology and cloud knobs from opt.Fed.
+func federationConfig(opt Options, sites []core.Config, policy federation.Policy) (federation.Config, error) {
+	cfg := federation.Config{
+		Sites:                   sites,
+		Policy:                  policy,
+		Seed:                    opt.Seed ^ 0xfedc,
+		CloudWarmWindow:         opt.Fed.CloudWarmWindow,
+		CloudAlwaysWarm:         opt.Fed.CloudAlwaysWarm,
+		CloudPricePerInvocation: opt.Fed.CloudPricePerInvocation,
+		CloudPricePerGBSecond:   opt.Fed.CloudPricePerGBSecond,
 	}
-	unit := opt.dur(time.Minute, 10*time.Second)
-	for _, policy := range federation.Policies() {
-		sites, end, err := federationSites(opt, unit)
+	switch opt.Fed.Topology {
+	case "", "ring":
+		// nil Topology → federation builds Ring(len(sites), PeerRTT).
+	case "star":
+		topo, err := federation.Star(len(sites), 5*time.Millisecond)
 		if err != nil {
-			return nil, err
+			return federation.Config{}, err
 		}
-		fed, err := federation.New(federation.Config{
-			Sites:  sites,
-			Policy: policy,
-			Seed:   opt.Seed ^ 0xfedc,
-		})
+		cfg.Topology = topo
+	default:
+		return federation.Config{}, fmt.Errorf("experiments: unknown federation topology %q (ring|star)", opt.Fed.Topology)
+	}
+	return cfg, nil
+}
+
+// federationSweepHeader is shared by the synthetic and trace-driven
+// sweeps; the violation rate stays the last column so downstream tooling
+// can key on it.
+var federationSweepHeader = []string{"policy", "site", "arrivals", "local", "to-peer", "to-cloud",
+	"cloud-cold", "cloud-cost-$", "p95 resp ms", "violation rate"}
+
+// sweepFederationPolicies runs all placement policies over freshly built
+// sites, appends per-site and aggregate rows to the table, and verifies
+// the never policy bit-for-bit against standalone runs.
+func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
+	for _, policy := range federation.Policies() {
+		sites, end, err := build()
 		if err != nil {
-			return nil, err
+			return err
+		}
+		fcfg, err := federationConfig(opt, sites, policy)
+		if err != nil {
+			return err
+		}
+		fed, err := federation.New(fcfg)
+		if err != nil {
+			return err
 		}
 		res, err := fed.Run(end)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if policy == federation.Never {
-			if err := checkNeverBaseline(opt, unit, res); err != nil {
-				return nil, err
+			if err := checkNeverBaseline(build, res); err != nil {
+				return err
 			}
 		}
-		var arrivals, local, toPeer, toCloud, violated, total uint64
+		var arrivals, local, toPeer, toCloud, coldStarts, violated, total uint64
+		var cost float64
 		for _, s := range res.Sites {
-			sa := s.Core.Functions["squeezenet"].Arrivals
+			var sa uint64
+			for _, fr := range s.Core.Functions {
+				sa += fr.Arrivals
+			}
 			arrivals += sa
 			local += s.ServedLocal
 			toPeer += s.OffloadedPeer
 			toCloud += s.OffloadedCloud
+			coldStarts += s.CloudColdStarts
+			cost += s.CloudCost
 			// Unresolved requests (still backlogged at run end) count as
 			// violations: excluding them would flatter exactly the
 			// policies that strand the most work.
@@ -99,6 +136,8 @@ func Federation(opt Options) (*Table, error) {
 				fmt.Sprintf("%d", s.ServedLocal),
 				fmt.Sprintf("%d", s.OffloadedPeer),
 				fmt.Sprintf("%d", s.OffloadedCloud),
+				fmt.Sprintf("%d", s.CloudColdStarts),
+				fmt.Sprintf("%.6f", s.CloudCost),
 				msF(s.Responses.Quantile(0.95)),
 				fmt.Sprintf("%.4f", s.ViolationRate()))
 		}
@@ -107,12 +146,39 @@ func Federation(opt Options) (*Table, error) {
 			fmt.Sprintf("%d", local),
 			fmt.Sprintf("%d", toPeer),
 			fmt.Sprintf("%d", toCloud),
+			fmt.Sprintf("%d", coldStarts),
+			fmt.Sprintf("%.6f", cost),
 			"",
 			fmt.Sprintf("%.4f", violationRate(violated, total)))
+	}
+	return nil
+}
+
+// Federation sweeps the four offload policies over the three-site
+// edge–cloud scenario and reports, per policy and site, where requests
+// were served, the cloud cold starts and cost they incurred, and the
+// end-to-end SLO-violation rate (response time including network RTT,
+// 250 ms deadline).
+//
+// The never policy is additionally cross-checked against standalone
+// single-cluster runs of the same per-site configurations: the federation
+// must reproduce those results bit-for-bit, or the experiment fails.
+func Federation(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "federation",
+		Title:  "Edge–cloud federation: offload policy sweep (3 edge sites + cloud)",
+		Header: federationSweepHeader,
+	}
+	unit := opt.dur(time.Minute, 10*time.Second)
+	if err := sweepFederationPolicies(t, opt, func() ([]core.Config, time.Duration, error) {
+		return federationSites(opt, unit)
+	}); err != nil {
+		return nil, err
 	}
 	t.AddNote("policy=never verified bit-for-bit against standalone single-cluster runs of each site")
 	t.AddNote("end-to-end SLO: response (network RTT included) within 250 ms; edge-0 bursts to 3x capacity mid-run")
 	t.AddNote("requests still unserved at run end count as violations, so backlogged policies are not flattered by survivorship")
+	t.AddNote("cloud offloads pay a cold start when no warm instance is idle and accrue per-invocation + GB-second cost")
 	return t, nil
 }
 
@@ -124,11 +190,11 @@ func violationRate(violated, total uint64) float64 {
 }
 
 // checkNeverBaseline re-runs each site of the never-policy federation as a
-// standalone single-cluster platform and demands identical measurements —
-// the acceptance bar for the federation layer being a pure superset of the
-// existing stack.
-func checkNeverBaseline(opt Options, unit time.Duration, fres *federation.Result) error {
-	sites, end, err := federationSites(opt, unit)
+// standalone single-cluster platform and demands identical measurements
+// across every queue counter — the acceptance bar for the federation layer
+// being a pure superset of the existing stack.
+func checkNeverBaseline(build siteBuilder, fres *federation.Result) error {
+	sites, end, err := build()
 	if err != nil {
 		return err
 	}
@@ -141,19 +207,30 @@ func checkNeverBaseline(opt Options, unit time.Duration, fres *federation.Result
 		if err != nil {
 			return err
 		}
-		got := fres.Sites[i].Core.Functions["squeezenet"]
-		ref := want.Functions["squeezenet"]
-		switch {
-		case got.Arrivals != ref.Arrivals:
-			return fmt.Errorf("federation: never-policy site %d arrivals %d != standalone %d", i, got.Arrivals, ref.Arrivals)
-		case got.Completed != ref.Completed:
-			return fmt.Errorf("federation: never-policy site %d completed %d != standalone %d", i, got.Completed, ref.Completed)
-		case got.Waits.Quantile(0.95) != ref.Waits.Quantile(0.95):
-			return fmt.Errorf("federation: never-policy site %d P95 wait %v != standalone %v",
-				i, got.Waits.Quantile(0.95), ref.Waits.Quantile(0.95))
-		case got.SLO.Violations() != ref.SLO.Violations():
-			return fmt.Errorf("federation: never-policy site %d SLO violations %d != standalone %d",
-				i, got.SLO.Violations(), ref.SLO.Violations())
+		for _, fc := range cfg.Functions {
+			fn := fc.Spec.Name
+			got := fres.Sites[i].Core.Functions[fn]
+			ref := want.Functions[fn]
+			counters := []struct {
+				name      string
+				got, want uint64
+			}{
+				{"arrivals", got.Arrivals, ref.Arrivals},
+				{"completed", got.Completed, ref.Completed},
+				{"timed-out", got.TimedOut, ref.TimedOut},
+				{"requeued", got.Requeued, ref.Requeued},
+				{"offloaded", got.Offloaded, ref.Offloaded},
+				{"SLO violations", got.SLO.Violations(), ref.SLO.Violations()},
+			}
+			for _, c := range counters {
+				if c.got != c.want {
+					return fmt.Errorf("federation: never-policy site %d %s %s %d != standalone %d",
+						i, fn, c.name, c.got, c.want)
+				}
+			}
+			if g, w := got.Waits.Quantile(0.95), ref.Waits.Quantile(0.95); g != w {
+				return fmt.Errorf("federation: never-policy site %d %s P95 wait %v != standalone %v", i, fn, g, w)
+			}
 		}
 	}
 	return nil

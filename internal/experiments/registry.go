@@ -21,6 +21,7 @@ var Registry = map[string]Runner{
 	"fig8":               Fig8,
 	"fig9":               Fig9,
 	"federation":         Federation,
+	"federation-trace":   FederationTrace,
 	"openwhisk":          OpenWhisk,
 	"ablation-estimator": AblationEstimator,
 	"ablation-placement": AblationPlacement,

@@ -1,0 +1,91 @@
+package federation
+
+import (
+	"time"
+)
+
+// Default cloud price points: the common on-demand FaaS rates ($0.20 per
+// million invocations, ~$0.0000166667 per GB-second of execution), used
+// when the Config leaves the price fields zero.
+const (
+	defaultCloudPricePerInvocation = 0.20 / 1e6
+	defaultCloudPricePerGBSecond   = 1.0 / 60_000
+)
+
+// zeroDefault applies the cloud knobs' shared sentinel convention: a zero
+// value selects def, a negative value means an explicit zero.
+func zeroDefault[T ~int64 | ~float64](v, def T) T {
+	switch {
+	case v == 0:
+		return def
+	case v < 0:
+		return 0
+	}
+	return v
+}
+
+// cloudInstance is one execution slot of the cloud backend's per-function
+// warm pool: busy until busyUntil, then idle-but-warm until warmUntil.
+type cloudInstance struct {
+	busyUntil time.Duration
+	warmUntil time.Duration
+}
+
+// cloudPool models the warm-window behaviour of a FaaS cloud backend for
+// one function. Capacity is still unbounded — a new instance can always be
+// created — but a request that cannot reuse an idle warm instance pays the
+// function's cold-start latency first, so the cloud is no longer flattered
+// as an always-warm free absorber. Reuse is most-recently-used (the
+// instance with the latest warm deadline), the policy real platforms use
+// so that surplus instances age out.
+type cloudPool struct {
+	instances []*cloudInstance
+}
+
+// hasWarm reports whether a request arriving at time at would find an
+// idle warm instance (i.e. would skip the cold start).
+func (p *cloudPool) hasWarm(at time.Duration) bool {
+	for _, in := range p.instances {
+		if in.busyUntil <= at && in.warmUntil >= at {
+			return true
+		}
+	}
+	return false
+}
+
+// acquire reserves an instance for a request arriving at time at that will
+// execute for run, and returns the cold-start delay the request pays: zero
+// when an idle warm instance is reused, coldStart when a fresh instance
+// must be provisioned. The chosen instance is busy for (cold + run) and
+// then stays warm for warmWindow.
+func (p *cloudPool) acquire(at, run, coldStart, warmWindow time.Duration) time.Duration {
+	// Drop instances whose warm window has lapsed; a busy instance is
+	// always within its window (warmUntil >= busyUntil), so nothing
+	// in-flight can be dropped.
+	live := p.instances[:0]
+	for _, in := range p.instances {
+		if in.warmUntil >= at {
+			live = append(live, in)
+		}
+	}
+	p.instances = live
+
+	var best *cloudInstance
+	for _, in := range p.instances {
+		if in.busyUntil > at {
+			continue
+		}
+		if best == nil || in.warmUntil > best.warmUntil {
+			best = in
+		}
+	}
+	cold := time.Duration(0)
+	if best == nil {
+		cold = coldStart
+		best = &cloudInstance{}
+		p.instances = append(p.instances, best)
+	}
+	best.busyUntil = at + cold + run
+	best.warmUntil = best.busyUntil + warmWindow
+	return cold
+}

@@ -14,11 +14,20 @@
 // runs are exactly reproducible, and with Policy Never each site behaves
 // bit-for-bit like a standalone single-cluster simulation.
 //
-// Edge sites are arranged on a ring: the one-way RTT between sites i and j
-// is Config.PeerRTT times their ring distance, which gives "nearest peer"
-// a concrete meaning without a full latency matrix. The cloud is modelled
-// as infinitely elastic standard-size capacity behind Config.CloudRTT —
-// offloaded requests never queue there, they only pay the network.
+// Inter-site latency comes from an explicit Topology: a validated one-way
+// latency matrix (optionally asymmetric, after the measured edge-platform
+// RTT heterogeneity of Javed et al. 2021). Configurations that set no
+// Topology get the original ring — sites at ring distance d are
+// d×Config.PeerRTT apart — so "nearest peer" keeps its historical meaning.
+//
+// The cloud is modelled as unbounded standard-size capacity behind
+// Config.CloudRTT, but it is neither always-warm nor free: each function
+// has a warm-instance pool with a keep-alive window, the first request
+// after idle pays the function's cold-start latency behind the RTT, and
+// every invocation accrues cost at configurable FaaS price points. Cloud
+// executions also honour the function's hard execution limit (§2.1) —
+// a request whose sampled service time exceeds the limit is killed and
+// counted as a violation at its origin site.
 package federation
 
 import (
@@ -29,7 +38,6 @@ import (
 
 	"lass/internal/core"
 	"lass/internal/dispatch"
-	"lass/internal/functions"
 	"lass/internal/metrics"
 	"lass/internal/sim"
 	"lass/internal/xrand"
@@ -90,12 +98,35 @@ type Config struct {
 	Sites []core.Config
 	// Policy is the placement policy applied at every site's ingress.
 	Policy Policy
+	// Topology, when set, is the explicit one-way inter-site latency
+	// matrix; its size must match Sites. When nil, the federation uses
+	// Ring(len(Sites), PeerRTT) — the original ring-distance model.
+	Topology *Topology
 	// PeerRTT is the one-way RTT between ring-adjacent edge sites
 	// (default 5ms); sites at ring distance d pay d×PeerRTT each way.
+	// Ignored when Topology is set.
 	PeerRTT time.Duration
 	// CloudRTT is the one-way RTT from any edge site to the cloud
 	// backend (default 50ms).
 	CloudRTT time.Duration
+	// CloudWarmWindow is how long an idle cloud instance stays warm
+	// after finishing a request (default 10m). A request that finds no
+	// idle warm instance pays its function's Spec.ColdStart behind the
+	// cloud RTT before executing. A negative value means no keep-alive
+	// at all — every idle gap cold-starts; zero selects the default.
+	CloudWarmWindow time.Duration
+	// CloudAlwaysWarm restores the legacy idealized cloud: no cold
+	// starts are modelled (invocations still accrue cost).
+	CloudAlwaysWarm bool
+	// CloudPricePerInvocation and CloudPricePerGBSecond set the cost
+	// axis for cloud offloads (defaults: $0.20 per million requests and
+	// $0.0000166667 per GB-second of billed execution, the common
+	// on-demand FaaS price points). Billed execution is the sampled
+	// service time, truncated at the function's hard execution limit.
+	// A negative value means an explicit zero price (a free tier) —
+	// zero itself selects the default.
+	CloudPricePerInvocation float64
+	CloudPricePerGBSecond   float64
 	// ResponseSLO is the end-to-end response deadline the federation
 	// accounts violations against, network RTT included (default 250ms).
 	// This is deliberately a response-time SLO, unlike the controller's
@@ -116,6 +147,13 @@ func (c *Config) fillDefaults() {
 	if c.CloudRTT == 0 {
 		c.CloudRTT = 50 * time.Millisecond
 	}
+	// Cloud knobs share one sentinel convention: zero selects the
+	// default, negative means an explicit zero (free tier / no
+	// keep-alive). With a zero warm window warmUntil collapses to
+	// busyUntil, so the pool invariant (warmUntil >= busyUntil) holds.
+	c.CloudWarmWindow = zeroDefault(c.CloudWarmWindow, 10*time.Minute)
+	c.CloudPricePerInvocation = zeroDefault(c.CloudPricePerInvocation, defaultCloudPricePerInvocation)
+	c.CloudPricePerGBSecond = zeroDefault(c.CloudPricePerGBSecond, defaultCloudPricePerGBSecond)
 	if c.ResponseSLO == 0 {
 		c.ResponseSLO = 250 * time.Millisecond
 	}
@@ -145,6 +183,14 @@ type Site struct {
 	OffloadedCloud uint64
 	PeerServed     uint64
 
+	// CloudColdStarts counts this site's cloud offloads that paid a cold
+	// start; CloudTimedOut counts those killed by the function's hard
+	// execution limit (they never complete, so they stay violations);
+	// CloudCost is the accumulated cloud bill for this site's offloads.
+	CloudColdStarts uint64
+	CloudTimedOut   uint64
+	CloudCost       float64
+
 	peers []*Site // other sites, ascending RTT, ties by index
 }
 
@@ -156,6 +202,7 @@ type Federation struct {
 	cfg         Config
 	cloudRng    *xrand.Rand
 	cloudServed uint64
+	cloudPools  map[string]*cloudPool // per-function warm-instance pools
 }
 
 // New assembles a federation: every site's platform is built on one shared
@@ -165,11 +212,22 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: no sites configured")
 	}
 	cfg.fillDefaults()
+	if cfg.Topology == nil {
+		ring, err := Ring(len(cfg.Sites), cfg.PeerRTT)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Topology = ring
+	} else if cfg.Topology.Size() != len(cfg.Sites) {
+		return nil, fmt.Errorf("federation: topology is %d sites, config has %d",
+			cfg.Topology.Size(), len(cfg.Sites))
+	}
 	engine := sim.NewEngine()
 	f := &Federation{
-		Engine:   engine,
-		cfg:      cfg,
-		cloudRng: xrand.New(cfg.Seed ^ 0xfed0),
+		Engine:     engine,
+		cfg:        cfg,
+		cloudRng:   xrand.New(cfg.Seed ^ 0xfed0),
+		cloudPools: make(map[string]*cloudPool),
 	}
 	for i, sc := range cfg.Sites {
 		sc.Engine = engine
@@ -198,21 +256,10 @@ func New(cfg Config) (*Federation, error) {
 	return f, nil
 }
 
-// rtt returns the one-way RTT between edge sites i and j: ring distance
-// times PeerRTT.
+// rtt returns the one-way latency from edge site i to edge site j, read
+// from the topology matrix (the ring formula when none was configured).
 func (f *Federation) rtt(i, j int) time.Duration {
-	if i == j {
-		return 0
-	}
-	n := len(f.cfg.Sites)
-	d := i - j
-	if d < 0 {
-		d = -d
-	}
-	if n-d < d {
-		d = n - d
-	}
-	return time.Duration(d) * f.cfg.PeerRTT
+	return f.cfg.Topology.RTT(i, j)
 }
 
 // peersByRTT returns the other sites ordered by ascending RTT from s,
@@ -236,15 +283,14 @@ func (f *Federation) peersByRTT(s *Site) []*Site {
 
 // wire installs the placement hook on one site queue.
 func (f *Federation) wire(s *Site, q *dispatch.Queue) {
-	spec := q.Spec()
 	q.Offload = func(r *dispatch.Request) bool {
 		target, toCloud := f.place(s, q)
 		switch {
 		case toCloud:
-			f.offloadToCloud(s, spec, r)
+			f.offloadToCloud(s, q, r)
 			return true
 		case target != nil:
-			f.offloadToPeer(s, target, spec.Name, r)
+			f.offloadToPeer(s, target, q.Spec().Name, r)
 			return true
 		default:
 			s.ServedLocal++
@@ -337,16 +383,18 @@ func (f *Federation) place(s *Site, q *dispatch.Queue) (*Site, bool) {
 			return nil, false
 		}
 		// Predicted SLO miss: pick the fastest alternative, local
-		// included — offloading must actually help.
+		// included — offloading must actually help. Peer predictions pay
+		// both network legs, which may differ under an asymmetric
+		// topology.
 		var best *Site
 		bestResp := local
 		for _, p := range s.peers {
-			if resp := f.predictResponse(p, fn, 2*f.rtt(s.Index, p.Index)); resp < bestResp {
+			legs := f.rtt(s.Index, p.Index) + f.rtt(p.Index, s.Index)
+			if resp := f.predictResponse(p, fn, legs); resp < bestResp {
 				best, bestResp = p, resp
 			}
 		}
-		cloud := (2*f.cfg.CloudRTT + q.Spec().MeanServiceTimeAt(1.0)).Seconds()
-		if cloud < bestResp {
+		if f.predictCloud(q) < bestResp {
 			return nil, true
 		}
 		return best, false
@@ -357,29 +405,76 @@ func (f *Federation) place(s *Site, q *dispatch.Queue) (*Site, bool) {
 // offloadToPeer ships the request to the target site: it arrives there one
 // RTT later, counts toward the target's rate estimator (the target must
 // provision for it), and its recorded end-to-end response includes both
-// network legs.
+// network legs — which may differ under an asymmetric topology.
 func (f *Federation) offloadToPeer(origin, target *Site, fn string, r *dispatch.Request) {
 	origin.OffloadedPeer++
-	rtt := f.rtt(origin.Index, target.Index)
+	out := f.rtt(origin.Index, target.Index)
+	back := f.rtt(target.Index, origin.Index)
 	arrival := r.Arrival
-	f.Engine.After(rtt, func() {
+	f.Engine.After(out, func() {
 		target.PeerServed++
 		target.Platform.Controller.RecordArrival(fn)
 		pr := target.Platform.Queues[fn].ArriveOffloaded()
 		pr.Done = func(pr *dispatch.Request) {
-			origin.observe(pr.Finish - arrival + rtt)
+			origin.observe(pr.Finish - arrival + back)
 		}
 	})
 }
 
-// offloadToCloud serves the request on the elastic backend: one standard
-// container's sampled service time behind a cloud round trip, no queueing.
-func (f *Federation) offloadToCloud(origin *Site, spec functions.Spec, r *dispatch.Request) {
+// predictCloud estimates the end-to-end response time (seconds) of serving
+// one request in the cloud right now: both network legs, the mean standard
+// service time, and — unless the cloud is configured always-warm — the
+// cold start the request would pay if no idle warm instance will greet it.
+func (f *Federation) predictCloud(q *dispatch.Queue) float64 {
+	spec := q.Spec()
+	resp := 2*f.cfg.CloudRTT + spec.MeanServiceTimeAt(1.0)
+	if !f.cfg.CloudAlwaysWarm {
+		pool := f.cloudPools[spec.Name]
+		if pool == nil || !pool.hasWarm(f.Engine.Now()+f.cfg.CloudRTT) {
+			resp += spec.ColdStart
+		}
+	}
+	return resp.Seconds()
+}
+
+// offloadToCloud serves the request on the cloud backend: it reaches the
+// cloud one RTT later, reuses an idle warm instance when one exists
+// (otherwise paying the function's cold start), executes a sampled
+// standard-size service time capped by the function's hard execution
+// limit, and accrues the invocation's cost at the origin site. A request
+// killed by the limit never completes: it is counted in CloudTimedOut and
+// remains an SLO violation at the origin (via the unresolved accounting).
+func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch.Request) {
+	spec := q.Spec()
 	origin.OffloadedCloud++
 	f.cloudServed++
 	service := spec.SampleServiceTime(f.cloudRng, 1.0)
+	run := service
+	killed := false
+	if tl := q.TimeLimit; tl > 0 && service > tl {
+		run = tl
+		killed = true
+	}
+	var cold time.Duration
+	if !f.cfg.CloudAlwaysWarm {
+		pool := f.cloudPools[spec.Name]
+		if pool == nil {
+			pool = &cloudPool{}
+			f.cloudPools[spec.Name] = pool
+		}
+		cold = pool.acquire(f.Engine.Now()+f.cfg.CloudRTT, run, spec.ColdStart, f.cfg.CloudWarmWindow)
+		if cold > 0 {
+			origin.CloudColdStarts++
+		}
+	}
+	origin.CloudCost += f.cfg.CloudPricePerInvocation +
+		run.Seconds()*f.cfg.CloudPricePerGBSecond*float64(spec.MemoryMiB)/1024
+	if killed {
+		origin.CloudTimedOut++
+		return
+	}
 	arrival := r.Arrival
-	f.Engine.After(2*f.cfg.CloudRTT+service, func() {
+	f.Engine.After(2*f.cfg.CloudRTT+cold+service, func() {
 		origin.observe(f.Engine.Now() - arrival)
 	})
 }
@@ -400,12 +495,21 @@ type SiteResult struct {
 	OffloadedCloud uint64
 	PeerServed     uint64
 
+	// CloudColdStarts, CloudTimedOut, and CloudCost mirror the Site
+	// counters: cold starts paid, hard-limit kills, and accumulated cloud
+	// bill for this site's offloads.
+	CloudColdStarts uint64
+	CloudTimedOut   uint64
+	CloudCost       float64
+
 	// Unresolved counts ingress requests that never completed before the
 	// run ended — still queued, in service, in the network, or killed by
-	// a time limit. They are excluded from Responses/SLO (which observe
-	// completions only); a backlogged policy can strand thousands of its
-	// worst-latency requests here, so honest SLO comparisons must count
-	// them as misses rather than ignore them.
+	// a time limit (local or cloud). They are excluded from Responses/SLO
+	// (which observe completions only); a backlogged policy can strand
+	// thousands of its worst-latency requests here, so honest SLO
+	// comparisons must count them as misses rather than ignore them.
+	// Cloud-killed requests are a subset of Unresolved, so they are
+	// already counted as violations.
 	Unresolved uint64
 }
 
@@ -430,6 +534,11 @@ type Result struct {
 	Duration    time.Duration
 	Sites       []SiteResult
 	CloudServed uint64
+	// CloudColdStarts, CloudTimedOut, and CloudCost aggregate the
+	// per-site cloud realism counters across the federation.
+	CloudColdStarts uint64
+	CloudTimedOut   uint64
+	CloudCost       float64
 }
 
 // Run drives all sites on the shared engine for the given simulated
@@ -454,16 +563,22 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 			unresolved = ingress - observed
 		}
 		res.Sites = append(res.Sites, SiteResult{
-			Name:           s.Name,
-			Core:           cr,
-			Responses:      s.Responses,
-			SLO:            s.SLO,
-			ServedLocal:    s.ServedLocal,
-			OffloadedPeer:  s.OffloadedPeer,
-			OffloadedCloud: s.OffloadedCloud,
-			PeerServed:     s.PeerServed,
-			Unresolved:     unresolved,
+			Name:            s.Name,
+			Core:            cr,
+			Responses:       s.Responses,
+			SLO:             s.SLO,
+			ServedLocal:     s.ServedLocal,
+			OffloadedPeer:   s.OffloadedPeer,
+			OffloadedCloud:  s.OffloadedCloud,
+			PeerServed:      s.PeerServed,
+			CloudColdStarts: s.CloudColdStarts,
+			CloudTimedOut:   s.CloudTimedOut,
+			CloudCost:       s.CloudCost,
+			Unresolved:      unresolved,
 		})
+		res.CloudColdStarts += s.CloudColdStarts
+		res.CloudTimedOut += s.CloudTimedOut
+		res.CloudCost += s.CloudCost
 	}
 	return res, nil
 }

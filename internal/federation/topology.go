@@ -1,0 +1,108 @@
+package federation
+
+import (
+	"fmt"
+	"time"
+)
+
+// Topology is an explicit inter-site one-way latency matrix: entry (i, j)
+// is the one-way network delay from edge site i to edge site j. It replaces
+// the original hard-coded ring-distance RTT model, following the measured
+// edge-platform RTT heterogeneity reported by Javed et al. (2021): real
+// edge deployments are neither rings nor symmetric, so the matrix may be
+// asymmetric — only the diagonal must be zero and no entry negative.
+//
+// Ring and Star construct the two common regular topologies; NewTopology
+// accepts any measured matrix.
+type Topology struct {
+	rtt [][]time.Duration
+}
+
+// NewTopology validates and wraps an explicit one-way latency matrix. The
+// matrix must be square with a zero diagonal and non-negative entries;
+// asymmetry (rtt[i][j] != rtt[j][i]) is allowed. The matrix is copied, so
+// the caller may reuse its slices.
+func NewTopology(rtt [][]time.Duration) (*Topology, error) {
+	n := len(rtt)
+	if n == 0 {
+		return nil, fmt.Errorf("federation: empty topology")
+	}
+	m := make([][]time.Duration, n)
+	for i, row := range rtt {
+		if len(row) != n {
+			return nil, fmt.Errorf("federation: topology row %d has %d entries, want %d (square matrix)", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return nil, fmt.Errorf("federation: topology entry (%d,%d) is negative (%v)", i, j, d)
+			}
+			if i == j && d != 0 {
+				return nil, fmt.Errorf("federation: topology diagonal entry (%d,%d) is %v, want 0", i, j, d)
+			}
+		}
+		m[i] = append([]time.Duration(nil), row...)
+	}
+	return &Topology{rtt: m}, nil
+}
+
+// Ring returns the original ring topology: sites at ring distance d are
+// d×peerRTT apart (one way), which is exactly the RTT model the federation
+// used before explicit matrices existed. A federation configured without a
+// Topology gets Ring(len(Sites), PeerRTT), so the default behaviour is
+// unchanged.
+func Ring(n int, peerRTT time.Duration) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("federation: ring size %d", n)
+	}
+	if peerRTT < 0 {
+		return nil, fmt.Errorf("federation: negative ring RTT %v", peerRTT)
+	}
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			if n-d < d {
+				d = n - d
+			}
+			m[i][j] = time.Duration(d) * peerRTT
+		}
+	}
+	return &Topology{rtt: m}, nil
+}
+
+// Star returns a hub-and-spoke topology with site 0 as the hub: the hub is
+// spokeRTT (one way) from every other site, and two non-hub sites reach
+// each other through the hub at 2×spokeRTT. This models a metro deployment
+// where one well-connected site fronts several access-network sites.
+func Star(n int, spokeRTT time.Duration) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("federation: star size %d", n)
+	}
+	if spokeRTT < 0 {
+		return nil, fmt.Errorf("federation: negative star RTT %v", spokeRTT)
+	}
+	m := make([][]time.Duration, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+		for j := range m[i] {
+			switch {
+			case i == j:
+			case i == 0 || j == 0:
+				m[i][j] = spokeRTT
+			default:
+				m[i][j] = 2 * spokeRTT
+			}
+		}
+	}
+	return &Topology{rtt: m}, nil
+}
+
+// Size returns the number of sites the topology describes.
+func (t *Topology) Size() int { return len(t.rtt) }
+
+// RTT returns the one-way latency from site i to site j.
+func (t *Topology) RTT(i, j int) time.Duration { return t.rtt[i][j] }

@@ -14,8 +14,10 @@
 //   - the function catalog of the paper's evaluation (Catalog, Table 1);
 //   - workload generators (§6.1) and Azure-schema trace tooling (§6.7);
 //   - multi-cluster edge–cloud federation (NewFederation): N edge sites
-//     plus an elastic cloud backend with per-request dynamic offload,
-//     after Das et al.'s edge-cloud task placement (2020).
+//     on an explicit latency topology (NewFederationTopology, RingTopology,
+//     StarTopology) plus a cloud backend with warm-pool cold starts and
+//     cost accounting, with per-request dynamic offload after Das et al.'s
+//     edge-cloud task placement (2020).
 //
 // # Quick start
 //
@@ -159,6 +161,26 @@ const (
 	// the SLO.
 	OffloadModelDriven = federation.ModelDriven
 )
+
+// FederationTopology is an explicit, validated one-way inter-site latency
+// matrix (optionally asymmetric; zero diagonal, non-negative entries).
+type FederationTopology = federation.Topology
+
+// NewFederationTopology wraps a measured latency matrix after validation.
+func NewFederationTopology(rtt [][]time.Duration) (*FederationTopology, error) {
+	return federation.NewTopology(rtt)
+}
+
+// RingTopology returns the ring topology the federation uses by default:
+// sites at ring distance d are d×peerRTT apart one way.
+func RingTopology(n int, peerRTT time.Duration) (*FederationTopology, error) {
+	return federation.Ring(n, peerRTT)
+}
+
+// StarTopology returns a hub-and-spoke topology with site 0 as hub.
+func StarTopology(n int, spokeRTT time.Duration) (*FederationTopology, error) {
+	return federation.Star(n, spokeRTT)
+}
 
 // NewFederation assembles a simulated multi-cluster edge–cloud deployment.
 func NewFederation(cfg FederationConfig) (*Federation, error) {
