@@ -10,10 +10,13 @@
 package lass
 
 import (
+	"fmt"
+	"os"
 	"strconv"
 	"testing"
 	"time"
 
+	"lass/internal/allocation"
 	"lass/internal/controller"
 	"lass/internal/dispatch"
 	"lass/internal/experiments"
@@ -92,14 +95,38 @@ func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
 	runExperiment(b, "openwhisk")
 }
 
+// checkBaselineColumns fails the bench (and so the CI bench smoke step,
+// which runs no plain tests) when the committed BENCH_federation.json
+// baseline is missing columns the sweep now produces — a stale baseline
+// used to pass silently. TestFederationBaselineColumns guards the same
+// invariant for plain `go test` runs.
+func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
+	b.Helper()
+	raw, err := os.ReadFile("BENCH_federation.json")
+	if err != nil {
+		b.Fatalf("committed baseline unreadable: %v (regenerate with "+
+			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json)", err)
+	}
+	missing, err := experiments.MissingBaselineColumns(raw, tab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(missing) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing columns %v; regenerate with "+
+			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json", missing)
+	}
+}
+
 // BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
 // same harness behind the committed BENCH_federation.json baseline, which
-// is generated at seed 1 rather than this file's seed 42) and reports the
+// is generated at seed 1 rather than this file's seed 42), validates the
+// committed baseline still carries every sweep column, and reports the
 // model-driven policy's aggregate violation rate.
 func BenchmarkFederationSweep(b *testing.B) {
 	tab := runExperiment(b, "federation")
+	checkBaselineColumns(b, tab)
 	for _, row := range tab.Rows {
-		if row[0] == "model-driven" && row[1] == "all" {
+		if row[0] == "model-driven" && row[2] == "all" {
 			if v, err := strconv.ParseFloat(row[len(row)-1], 64); err == nil {
 				b.ReportMetric(v, "model-driven-violation-rate")
 			}
@@ -110,6 +137,25 @@ func BenchmarkFederationSweep(b *testing.B) {
 // BenchmarkFederationTrace runs the trace-driven sweep.
 func BenchmarkFederationTrace(b *testing.B) {
 	runExperiment(b, "federation-trace")
+}
+
+// BenchmarkFederationFairShare runs the local-vs-global allocation sweep
+// and reports how much the federation-wide allocator cuts the nearest-peer
+// violation rate relative to per-site allocation.
+func BenchmarkFederationFairShare(b *testing.B) {
+	tab := runExperiment(b, "federation-fairshare")
+	rate := func(alloc string) (float64, error) {
+		row, err := experiments.FairShareAggregate(tab, "nearest-peer", alloc)
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseFloat(row[len(row)-1], 64)
+	}
+	local, err1 := rate("local")
+	global, err2 := rate("global")
+	if err1 == nil && err2 == nil && local > 0 {
+		b.ReportMetric((local-global)/local, "global-violation-cut-frac")
+	}
 }
 
 func BenchmarkAblationEstimator(b *testing.B) {
@@ -190,6 +236,42 @@ func BenchmarkFairShareAdjust(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fairshare.AdjustCapped(demands, 100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGlobalAllocator measures one federation-wide allocation epoch
+// at fleet scale: 16 sites x 32 functions across 4 user namespaces, with
+// skewed demand so every pass (entitlement, feasibility clamp, overflow
+// spreading, drift accounting) does real work.
+func BenchmarkGlobalAllocator(b *testing.B) {
+	rng := xrand.New(17)
+	sites := make([]allocation.SiteDemand, 16)
+	for i := range sites {
+		fns := make([]allocation.FunctionDemand, 32)
+		for j := range fns {
+			desire := int64(rng.Intn(500))
+			if i%4 == 0 {
+				desire *= 8 // every fourth site runs hot
+			}
+			fns[j] = allocation.FunctionDemand{
+				Name:       fmt.Sprintf("f%02d", j),
+				User:       fmt.Sprintf("u%d", j%4),
+				UserWeight: float64(j%4 + 1),
+				Weight:     float64(rng.Intn(4) + 1),
+				DesiredCPU: desire,
+			}
+		}
+		sites[i] = allocation.SiteDemand{
+			Site:        fmt.Sprintf("edge-%02d", i),
+			CapacityCPU: 16000,
+			Functions:   fns,
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := allocation.Allocate(sites, true); err != nil {
 			b.Fatal(err)
 		}
 	}

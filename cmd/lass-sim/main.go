@@ -10,6 +10,8 @@
 //	lass-sim -functions binaryalert:80 -trace traces.csv   # Azure CSV rates
 //	lass-sim -federation -out federation.csv               # offload sweep
 //	lass-sim -federation -fed-trace -topology star         # trace-driven, star topology
+//	lass-sim -federation -global-fairshare -admission      # federation-wide §4.1 allocator
+//	lass-sim -federation -fed-fairshare                    # local-vs-global allocation sweep
 //	lass-sim -federation -quick -json BENCH_federation.json
 //
 // With -federation the command runs the multi-cluster edge–cloud offload
@@ -19,8 +21,15 @@
 // comparison (per-policy SLO-violation rates, cloud cold starts and cost)
 // as CSV and optionally JSON. -fed-trace drives each site from its own
 // Azure-format trace row (synthesized deterministically, or row i of the
-// -trace CSV); -topology selects the inter-site latency model (ring|star);
-// the -cloud-* flags tune the cloud's warm window and price points.
+// -trace CSV); -fed-fairshare sweeps per-site-local versus federation-wide
+// (global) fair-share allocation on a skewed-load scenario instead;
+// -global-fairshare / -alloc-epoch run any sweep under the global
+// allocator; -admission turns on offload-aware §3.4 admission control;
+// -peer-select picks nearest-first or power-of-two-choices shedding;
+// -cloud-max-concurrency caps concurrent cloud instances per function
+// (FIFO queueing at the cap); -topology selects the inter-site latency
+// model (ring|star); the -cloud-* flags tune the cloud's warm window and
+// price points.
 package main
 
 import (
@@ -52,6 +61,12 @@ func main() {
 		trace      = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i (ad-hoc mode) or site i (-fed-trace)")
 		fed        = flag.Bool("federation", false, "run the edge-cloud federation offload-policy sweep")
 		fedTrace   = flag.Bool("fed-trace", false, "with -federation: drive each site from its own Azure-format trace row")
+		fedFair    = flag.Bool("fed-fairshare", false, "with -federation: sweep local vs global allocation on the skewed-load scenario instead")
+		globalFS   = flag.Bool("global-fairshare", false, "with -federation: run the sweep under the federation-wide fair-share allocator")
+		allocEpoch = flag.Duration("alloc-epoch", 0, "with -federation -global-fairshare: global allocation epoch (0 = default 5s)")
+		admission  = flag.Bool("admission", false, "with -federation: offload-aware §3.4 admission control (reject only when no site's grant has headroom)")
+		peerSel    = flag.String("peer-select", "nearest", "with -federation: shed-target peer selection (nearest|p2c)")
+		cloudConc  = flag.Int("cloud-max-concurrency", 0, "with -federation: per-function cloud concurrency cap, FIFO queueing at the cap (0 = unbounded)")
 		topology   = flag.String("topology", "ring", "with -federation: inter-site latency topology (ring|star)")
 		cloudWarm  = flag.Duration("cloud-warm", 0, "with -federation: cloud warm-instance keep-alive window (0 = default 10m, negative = no keep-alive)")
 		alwaysWarm = flag.Bool("cloud-always-warm", false, "with -federation: legacy idealized cloud without cold starts")
@@ -65,8 +80,10 @@ func main() {
 
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
-	fedOnly := map[string]bool{"fed-trace": true, "topology": true, "cloud-warm": true,
-		"cloud-always-warm": true, "cloud-price-invocation": true, "cloud-price-gbsec": true,
+	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "topology": true,
+		"cloud-warm": true, "cloud-always-warm": true, "cloud-price-invocation": true,
+		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
+		"admission": true, "peer-select": true, "cloud-max-concurrency": true,
 		"out": true, "json": true, "quick": true}
 
 	if *fed {
@@ -86,9 +103,14 @@ func main() {
 		})
 		id := "federation"
 		tracePath := ""
-		if *fedTrace {
+		switch {
+		case *fedFair && *fedTrace:
+			fail(fmt.Errorf("-fed-trace and -fed-fairshare are mutually exclusive"))
+		case *fedTrace:
 			id = "federation-trace"
 			tracePath = *trace
+		case *fedFair:
+			id = "federation-fairshare"
 		}
 		runFederation(id, experiments.Options{
 			Seed:  *seed,
@@ -100,6 +122,11 @@ func main() {
 				CloudAlwaysWarm:         *alwaysWarm,
 				CloudPricePerInvocation: *priceInv,
 				CloudPricePerGBSecond:   *priceGBs,
+				GlobalFairShare:         *globalFS,
+				AllocEpoch:              *allocEpoch,
+				Admission:               *admission,
+				PeerSelection:           *peerSel,
+				CloudMaxConcurrency:     *cloudConc,
 			},
 		}, *out, *jsonOut)
 		return

@@ -1,0 +1,371 @@
+// Package allocation lifts LaSS's §4.1 weighted fair-share allocator from
+// a single edge cluster to the whole federation. Each epoch a coordinator
+// gathers per-function demand and weight from every site's controller and
+// divides the federation's *total* edge capacity — rather than each site
+// dividing its own — so a function's weight governs its aggregate share of
+// edge capacity, the ROADMAP's "cross-site fair share".
+//
+// The allocator runs three passes:
+//
+//  1. Entitlement: capped water-filling over the federation's total edge
+//     capacity on the site → user → function tree
+//     (fairshare.AllocateTree). A site's entitlement may exceed its
+//     physical capacity — the excess is demand the federation owes it
+//     somewhere else.
+//  2. Feasibility: each site's enforceable grants are clamped to its
+//     physical capacity by re-running the site's subtree against that
+//     capacity, fair-sharing any shortfall with the same weights.
+//  3. Spreading: entitlement displaced by the physical clamp is offered to
+//     other sites that serve the same function and still have idle
+//     capacity. Those grants let peer sites pre-provision containers for
+//     offloaded work before it arrives — capacity that per-site-local
+//     allocation leaves stranded under skewed load (cf. Das et al.,
+//     dynamic edge–cloud task placement).
+//
+// The result also quantifies what global allocation bought: StrandedCPU is
+// capacity still idle while demand elsewhere stays unmet (zero when the
+// spread pass could move everything), and DriftCPU is the L1 distance
+// between the global grants and the allocations each site would have
+// computed on its own — the cross-site allocation drift reported by the
+// federation-fairshare sweep.
+package allocation
+
+import (
+	"fmt"
+	"sort"
+
+	"lass/internal/fairshare"
+)
+
+// FunctionDemand is one function's demand at one site: the §4.1 inputs
+// (desire and weights) the site's controller estimated for the next epoch.
+type FunctionDemand struct {
+	Name       string
+	User       string  // namespace for hierarchical shares ("" = flat)
+	Weight     float64 // function fair-share weight ω_i
+	UserWeight float64 // weight of the User namespace (ignored when flat)
+	DesiredCPU int64   // model-computed desire in CPU millicores
+}
+
+// SiteDemand is one edge site's demand report for a global epoch.
+type SiteDemand struct {
+	Site        string
+	Weight      float64 // site weight at the tree root (0 → 1)
+	CapacityCPU int64   // the site's physical CPU capacity, millicores
+	Functions   []FunctionDemand
+}
+
+// Grant is the allocator's decision for one function at one site.
+type Grant struct {
+	Site     string
+	Function string
+	// DesiredCPU is the site's own model-computed desire.
+	DesiredCPU int64
+	// EntitledCPU is the function-at-site's fair share of the federation's
+	// total edge capacity (pass 1); it may exceed the site's capacity.
+	EntitledCPU int64
+	// GrantedCPU is the enforceable grant pushed down to the site's
+	// controller: per site these sum to at most the site's capacity. It
+	// exceeds DesiredCPU when the spread pass pre-provisions this site for
+	// another site's displaced demand.
+	GrantedCPU int64
+}
+
+// Result is one global allocation epoch's outcome.
+type Result struct {
+	Grants []Grant
+	// TotalCapacityCPU and TotalDesiredCPU summarize the epoch's inputs.
+	TotalCapacityCPU int64
+	TotalDesiredCPU  int64
+	// StrandedCPU is capacity left idle across the federation while
+	// demand elsewhere remains unmet even after the spread pass — the
+	// waste global allocation could not recover (typically because the
+	// demanding function is not deployed at the idle sites).
+	StrandedCPU int64
+	// DriftCPU is the L1 distance between the global grants and the
+	// allocations each site would have computed locally from the same
+	// demands — how much capacity the global allocator actually moved.
+	DriftCPU int64
+}
+
+// SiteGrants returns the granted CPU per function for one site.
+func (r *Result) SiteGrants(site string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, g := range r.Grants {
+		if g.Site == site {
+			out[g.Function] = g.GrantedCPU
+		}
+	}
+	return out
+}
+
+// subtree builds one site's user → function subtree. desire maps the leaf
+// desire per function; when nil the raw demands are used.
+func subtree(s SiteDemand, id string, weight float64, desire map[string]int64) *fairshare.Node {
+	site := &fairshare.Node{ID: id, Weight: weight}
+	userNodes := make(map[string]*fairshare.Node)
+	for _, fd := range s.Functions {
+		user, uw := fd.User, fd.UserWeight
+		if user == "" {
+			user, uw = "::default", 1
+		}
+		if uw <= 0 {
+			uw = 1
+		}
+		un := userNodes[user]
+		if un == nil {
+			un = &fairshare.Node{ID: id + "/user:" + user, Weight: uw}
+			userNodes[user] = un
+			site.Children = append(site.Children, un)
+		}
+		d := fd.DesiredCPU
+		if desire != nil {
+			d = desire[fd.Name]
+		}
+		un.Children = append(un.Children, &fairshare.Node{
+			ID:      id + "/" + fd.Name,
+			Weight:  fd.Weight,
+			Desired: d,
+		})
+	}
+	return site
+}
+
+func validate(sites []SiteDemand) error {
+	if len(sites) == 0 {
+		return fmt.Errorf("allocation: no sites")
+	}
+	seenSite := make(map[string]bool, len(sites))
+	for _, s := range sites {
+		if s.Site == "" {
+			return fmt.Errorf("allocation: site with empty name")
+		}
+		if seenSite[s.Site] {
+			return fmt.Errorf("allocation: duplicate site %q", s.Site)
+		}
+		seenSite[s.Site] = true
+		if s.CapacityCPU < 0 {
+			return fmt.Errorf("allocation: site %q has negative capacity %d", s.Site, s.CapacityCPU)
+		}
+		if s.Weight < 0 {
+			return fmt.Errorf("allocation: site %q has negative weight %v", s.Site, s.Weight)
+		}
+		seenFn := make(map[string]bool, len(s.Functions))
+		for _, fd := range s.Functions {
+			if fd.Name == "" {
+				return fmt.Errorf("allocation: site %q has a function with empty name", s.Site)
+			}
+			if seenFn[fd.Name] {
+				return fmt.Errorf("allocation: site %q has duplicate function %q", s.Site, fd.Name)
+			}
+			seenFn[fd.Name] = true
+			if fd.Weight <= 0 {
+				return fmt.Errorf("allocation: site %q function %q has non-positive weight %v", s.Site, fd.Name, fd.Weight)
+			}
+			if fd.DesiredCPU < 0 {
+				return fmt.Errorf("allocation: site %q function %q has negative desire %d", s.Site, fd.Name, fd.DesiredCPU)
+			}
+		}
+	}
+	return nil
+}
+
+// Allocate runs one global allocation epoch over the sites' demand
+// reports. capped selects the water-filling AdjustCapped refinement (true,
+// the controller default) or the paper-faithful Adjust at every tree
+// level.
+func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
+	if err := validate(sites); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, s := range sites {
+		res.TotalCapacityCPU += s.CapacityCPU
+		for _, fd := range s.Functions {
+			res.TotalDesiredCPU += fd.DesiredCPU
+		}
+	}
+
+	// Pass 1 — entitlement: capped water-filling over the federation's
+	// total edge capacity, site → user → function.
+	root := &fairshare.Node{ID: "::federation"}
+	for _, s := range sites {
+		w := s.Weight
+		if w == 0 {
+			w = 1
+		}
+		root.Children = append(root.Children, subtree(s, "site:"+s.Site, w, nil))
+	}
+	entitled, err := fairshare.AllocateTree(root, res.TotalCapacityCPU, capped)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2 — feasibility: clamp each site's enforceable grants to its
+	// physical capacity. Re-running the subtree with desires capped at the
+	// entitlement keeps the shortfall division on the same weights; when
+	// the capped desires already fit, every function simply receives
+	// min(desire, entitlement).
+	granted := make(map[string]map[string]int64, len(sites))
+	spare := make(map[string]int64, len(sites))
+	for _, s := range sites {
+		id := "site:" + s.Site
+		want := make(map[string]int64, len(s.Functions))
+		for _, fd := range s.Functions {
+			e := entitled[id+"/"+fd.Name]
+			if e > fd.DesiredCPU {
+				e = fd.DesiredCPU
+			}
+			want[fd.Name] = e
+		}
+		g, err := fairshare.AllocateTree(subtree(s, id, 1, want), s.CapacityCPU, capped)
+		if err != nil {
+			return nil, err
+		}
+		siteGrant := make(map[string]int64, len(s.Functions))
+		var sum int64
+		for _, fd := range s.Functions {
+			siteGrant[fd.Name] = g[id+"/"+fd.Name]
+			sum += siteGrant[fd.Name]
+		}
+		granted[s.Site] = siteGrant
+		spare[s.Site] = s.CapacityCPU - sum
+	}
+
+	// Pass 3 — spreading: entitlement displaced by the physical clamp is
+	// granted at other sites that serve the same function and have idle
+	// capacity — proportionally to their spare, so one nearby peer is not
+	// packed solid while others idle — letting those sites pre-provision
+	// for the offloads that will follow.
+	overflow := make(map[string]int64)
+	var fnNames []string
+	for _, s := range sites {
+		id := "site:" + s.Site
+		for _, fd := range s.Functions {
+			e := entitled[id+"/"+fd.Name]
+			if e > fd.DesiredCPU {
+				e = fd.DesiredCPU
+			}
+			if miss := e - granted[s.Site][fd.Name]; miss > 0 {
+				if overflow[fd.Name] == 0 {
+					fnNames = append(fnNames, fd.Name)
+				}
+				overflow[fd.Name] += miss
+			}
+		}
+	}
+	sort.Strings(fnNames)
+	for _, fn := range fnNames {
+		need := overflow[fn]
+		// Candidate hosts: sites serving fn with spare capacity, most
+		// spare first (ties by site order for determinism).
+		type host struct {
+			site  string
+			spare int64
+			order int
+		}
+		var hosts []host
+		var hostSpare int64
+		for i, s := range sites {
+			if spare[s.Site] <= 0 {
+				continue
+			}
+			for _, fd := range s.Functions {
+				if fd.Name == fn {
+					hosts = append(hosts, host{s.Site, spare[s.Site], i})
+					hostSpare += spare[s.Site]
+					break
+				}
+			}
+		}
+		sort.Slice(hosts, func(i, j int) bool {
+			if hosts[i].spare != hosts[j].spare {
+				return hosts[i].spare > hosts[j].spare
+			}
+			return hosts[i].order < hosts[j].order
+		})
+		if need > hostSpare {
+			need = hostSpare
+		}
+		if need == 0 {
+			continue
+		}
+		// Proportional first pass, then a largest-spare-first mop-up for
+		// the flooring remainder.
+		rem := need
+		for _, h := range hosts {
+			take := need * h.spare / hostSpare
+			granted[h.site][fn] += take
+			spare[h.site] -= take
+			rem -= take
+		}
+		for _, h := range hosts {
+			if rem == 0 {
+				break
+			}
+			take := spare[h.site]
+			if take > rem {
+				take = rem
+			}
+			if take > 0 {
+				granted[h.site][fn] += take
+				spare[h.site] -= take
+				rem -= take
+			}
+		}
+	}
+
+	// Stranded capacity: idle CPU that even spreading could not pair with
+	// the demand still unmet federation-wide.
+	var totalSpare, totalUnmet int64
+	perFnDesired := make(map[string]int64)
+	perFnGranted := make(map[string]int64)
+	for _, s := range sites {
+		totalSpare += spare[s.Site]
+		for _, fd := range s.Functions {
+			perFnDesired[fd.Name] += fd.DesiredCPU
+			perFnGranted[fd.Name] += granted[s.Site][fd.Name]
+		}
+	}
+	for fn, d := range perFnDesired {
+		if miss := d - perFnGranted[fn]; miss > 0 {
+			totalUnmet += miss
+		}
+	}
+	res.StrandedCPU = totalSpare
+	if totalUnmet < totalSpare {
+		res.StrandedCPU = totalUnmet
+	}
+
+	// Drift: L1 distance to the allocation each site would have computed
+	// locally from the same demands (its own subtree over its own
+	// capacity) — zero when global allocation changes nothing.
+	for _, s := range sites {
+		id := "site:" + s.Site
+		local, err := fairshare.AllocateTree(subtree(s, id, 1, nil), s.CapacityCPU, capped)
+		if err != nil {
+			return nil, err
+		}
+		for _, fd := range s.Functions {
+			d := granted[s.Site][fd.Name] - local[id+"/"+fd.Name]
+			if d < 0 {
+				d = -d
+			}
+			res.DriftCPU += d
+		}
+	}
+
+	for _, s := range sites {
+		id := "site:" + s.Site
+		for _, fd := range s.Functions {
+			res.Grants = append(res.Grants, Grant{
+				Site:        s.Site,
+				Function:    fd.Name,
+				DesiredCPU:  fd.DesiredCPU,
+				EntitledCPU: entitled[id+"/"+fd.Name],
+				GrantedCPU:  granted[s.Site][fd.Name],
+			})
+		}
+	}
+	return res, nil
+}

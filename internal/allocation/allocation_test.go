@@ -1,0 +1,215 @@
+package allocation
+
+import (
+	"testing"
+)
+
+func grantOf(t *testing.T, res *Result, site, fn string) Grant {
+	t.Helper()
+	for _, g := range res.Grants {
+		if g.Site == site && g.Function == fn {
+			return g
+		}
+	}
+	t.Fatalf("no grant for %s/%s", site, fn)
+	return Grant{}
+}
+
+// A federation with no pressure anywhere grants every desire, drifts
+// nothing, and strands nothing.
+func TestAllocateNoPressure(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "a", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 2000},
+			{Name: "g", Weight: 1, DesiredCPU: 1000},
+		}},
+		{Site: "b", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 500},
+		}},
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range res.Grants {
+		if g.GrantedCPU != g.DesiredCPU {
+			t.Errorf("%s/%s granted %d want desire %d", g.Site, g.Function, g.GrantedCPU, g.DesiredCPU)
+		}
+	}
+	if res.DriftCPU != 0 {
+		t.Errorf("drift %d want 0", res.DriftCPU)
+	}
+	if res.StrandedCPU != 0 {
+		t.Errorf("stranded %d want 0", res.StrandedCPU)
+	}
+}
+
+// A site overloaded beyond its physical capacity has its enforceable
+// grants clamped to capacity, and the displaced entitlement is spread to a
+// peer that serves the same function and has idle capacity — the peer's
+// grant exceeds its own desire (pre-provisioning for offloads).
+func TestAllocateSpreadsDisplacedDemand(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "hot", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 7000},
+		}},
+		{Site: "cold", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 1000},
+		}},
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := grantOf(t, res, "hot", "f")
+	if hot.GrantedCPU != 4000 {
+		t.Errorf("hot granted %d want clamp at capacity 4000", hot.GrantedCPU)
+	}
+	if hot.EntitledCPU <= 4000 {
+		t.Errorf("hot entitled %d want > capacity (federation owes it elsewhere)", hot.EntitledCPU)
+	}
+	cold := grantOf(t, res, "cold", "f")
+	if cold.GrantedCPU <= cold.DesiredCPU {
+		t.Errorf("cold granted %d want > its own desire %d (spread)", cold.GrantedCPU, cold.DesiredCPU)
+	}
+	// Total demand 8000 = total capacity 8000: everything should be
+	// granted somewhere, nothing stranded.
+	if res.StrandedCPU != 0 {
+		t.Errorf("stranded %d want 0", res.StrandedCPU)
+	}
+	if res.DriftCPU == 0 {
+		t.Error("drift 0: global allocation should differ from local here")
+	}
+	var grantedF int64
+	for _, g := range res.Grants {
+		grantedF += g.GrantedCPU
+	}
+	if grantedF != 8000 {
+		t.Errorf("total granted %d want 8000", grantedF)
+	}
+}
+
+// Capacity is stranded when the displaced function is not deployed at the
+// idle site.
+func TestAllocateStrandedWhenFunctionAbsent(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "hot", CapacityCPU: 2000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 5000},
+		}},
+		{Site: "other", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "g", Weight: 1, DesiredCPU: 1000},
+		}},
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f misses 3000, "other" has 3000 idle, but does not serve f.
+	if res.StrandedCPU != 3000 {
+		t.Errorf("stranded %d want 3000", res.StrandedCPU)
+	}
+	if g := grantOf(t, res, "other", "g"); g.GrantedCPU != 1000 {
+		t.Errorf("other/g granted %d want 1000", g.GrantedCPU)
+	}
+}
+
+// Zero-demand sites donate their whole capacity via spreading.
+func TestAllocateZeroDemandSite(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "hot", CapacityCPU: 2000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 6000},
+		}},
+		{Site: "idle", CapacityCPU: 4000, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 0},
+		}},
+		{Site: "empty", CapacityCPU: 1000}, // registers no functions at all
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := grantOf(t, res, "idle", "f")
+	if idle.GrantedCPU != 4000 {
+		t.Errorf("idle granted %d want its full 4000 via spread", idle.GrantedCPU)
+	}
+	// 6000 desired ≤ 2000 + 4000 granted; the functionless site's 1000 is
+	// idle but no demand remains unmet by a deployable function.
+	if res.StrandedCPU != 0 {
+		t.Errorf("stranded %d want 0", res.StrandedCPU)
+	}
+}
+
+// Site weights shift entitlement: with a heavy root weight, a site's
+// functions win the federation-level arbitration during global overload,
+// and the light site's functions are held below their local fair share.
+func TestAllocateSiteWeights(t *testing.T) {
+	mk := func(heavyWeight float64) []SiteDemand {
+		return []SiteDemand{
+			{Site: "a", Weight: heavyWeight, CapacityCPU: 4000, Functions: []FunctionDemand{
+				{Name: "f", Weight: 1, DesiredCPU: 5000},
+			}},
+			{Site: "b", Weight: 1, CapacityCPU: 4000, Functions: []FunctionDemand{
+				{Name: "g", Weight: 1, DesiredCPU: 5000},
+			}},
+		}
+	}
+	even, err := Allocate(mk(1), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := Allocate(mk(3), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evenB := grantOf(t, even, "b", "g").GrantedCPU
+	skewB := grantOf(t, skew, "b", "g").GrantedCPU
+	if skewB >= evenB {
+		t.Errorf("b/g granted %d under 3:1 site weights, want < %d (even weights)", skewB, evenB)
+	}
+	// a cannot physically host more than 4000 regardless of weight.
+	if a := grantOf(t, skew, "a", "f").GrantedCPU; a != 4000 {
+		t.Errorf("a/f granted %d want clamp at 4000", a)
+	}
+}
+
+// User namespaces arbitrate inside each site exactly as the §5 two-level
+// tree does.
+func TestAllocateUserHierarchy(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "a", CapacityCPU: 3000, Functions: []FunctionDemand{
+			{Name: "f", User: "u1", UserWeight: 2, Weight: 1, DesiredCPU: 3000},
+			{Name: "g", User: "u2", UserWeight: 1, Weight: 1, DesiredCPU: 3000},
+		}},
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := grantOf(t, res, "a", "f").GrantedCPU
+	g := grantOf(t, res, "a", "g").GrantedCPU
+	if f != 2000 || g != 1000 {
+		t.Errorf("grants f=%d g=%d want 2000/1000 (2:1 user weights)", f, g)
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		sites []SiteDemand
+	}{
+		{"no sites", nil},
+		{"dup site", []SiteDemand{{Site: "a"}, {Site: "a"}}},
+		{"negative capacity", []SiteDemand{{Site: "a", CapacityCPU: -1}}},
+		{"dup function", []SiteDemand{{Site: "a", CapacityCPU: 1, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1}, {Name: "f", Weight: 1}}}}},
+		{"bad weight", []SiteDemand{{Site: "a", CapacityCPU: 1, Functions: []FunctionDemand{
+			{Name: "f", Weight: 0}}}}},
+		{"negative desire", []SiteDemand{{Site: "a", CapacityCPU: 1, Functions: []FunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: -5}}}}},
+	}
+	for _, c := range cases {
+		if _, err := Allocate(c.sites, true); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

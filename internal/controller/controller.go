@@ -208,7 +208,8 @@ type Controller struct {
 	users    map[string]float64
 	drained  map[cluster.ContainerID]time.Duration // when marked draining
 	stats    Stats
-	headroom int64 // capacity minus model-desired CPU, from the last Step
+	headroom int64            // capacity minus model-desired CPU, from the last Step
+	grants   map[string]int64 // externally-imposed CPU grants (nil = local allocation)
 }
 
 // New builds a controller for the cluster.
@@ -427,10 +428,86 @@ func (ctl *Controller) desiredContainers(f *Function, lambda float64) (int, erro
 	return want, nil
 }
 
+// FunctionDemand is one function's estimated capacity need for the next
+// epoch, as reported to an external (federation-level) allocator: the
+// inputs the §4.1 fair-share adjustment consumes, detached from the local
+// enforcement that normally follows them.
+type FunctionDemand struct {
+	Name       string
+	User       string  // namespace for hierarchical shares ("" = flat)
+	Weight     float64 // function fair-share weight ω_i
+	UserWeight float64 // weight of the User namespace (1 when flat)
+	DesiredCPU int64   // model-computed desire in CPU millicores
+}
+
+// Demands returns the per-function demand estimates from the most recent
+// Step (model-desired CPU, fair-share weight, namespace), in registration
+// order. Before the first Step every desire is zero. The federation-level
+// global allocator gathers these from every site's controller each epoch.
+func (ctl *Controller) Demands() []FunctionDemand {
+	out := make([]FunctionDemand, 0, len(ctl.order))
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		uw := 1.0
+		if f.User != "" {
+			if w := ctl.users[f.User]; w > 0 {
+				uw = w
+			}
+		}
+		out = append(out, FunctionDemand{
+			Name:       name,
+			User:       f.User,
+			Weight:     f.Weight,
+			UserWeight: uw,
+			DesiredCPU: int64(f.Desired) * f.Spec.CPUMillis,
+		})
+	}
+	return out
+}
+
+// Capacity returns the cluster's total CPU capacity in millicores.
+func (ctl *Controller) Capacity() int64 { return ctl.cluster.TotalCPU() }
+
+// SetCapacityGrants imposes externally-computed per-function CPU grants:
+// subsequent Steps enforce each function toward its grant instead of
+// computing shares from local cluster capacity (the federation-level
+// global fair-share path). A function absent from the map keeps its
+// model-computed desire; a nil map restores local allocation. The map is
+// copied.
+func (ctl *Controller) SetCapacityGrants(grants map[string]int64) {
+	if grants == nil {
+		ctl.grants = nil
+		return
+	}
+	g := make(map[string]int64, len(grants))
+	for k, v := range grants {
+		g[k] = v
+	}
+	ctl.grants = g
+}
+
+// GrantedExternally reports whether an external allocator currently
+// governs this controller's capacity enforcement.
+func (ctl *Controller) GrantedExternally() bool { return ctl.grants != nil }
+
 // Step runs one allocation epoch (§3.3): estimate rates, compute desired
-// capacity per function, detect overload, adjust via fair share, and
-// reconcile each function's pool using the configured reclamation policy.
+// capacity per function, then enforce — against the local cluster capacity
+// via the §4.1 fair-share adjustment, or, when an external allocator has
+// imposed grants (SetCapacityGrants), against those grants.
 func (ctl *Controller) Step() error {
+	demands, err := ctl.estimate()
+	if err != nil {
+		return err
+	}
+	if ctl.grants != nil {
+		return ctl.enforceGrants(demands)
+	}
+	return ctl.enforceLocal(demands)
+}
+
+// estimate runs the demand-estimation half of an epoch: per-function rate
+// estimates and model-driven desired capacity, with no enforcement.
+func (ctl *Controller) estimate() ([]fairshare.Demand, error) {
 	now := ctl.hooks.Now()
 	ctl.stats.Steps++
 
@@ -467,20 +544,29 @@ func (ctl *Controller) Step() error {
 
 	// 2. Model-driven desired capacity.
 	demands := make([]fairshare.Demand, 0, len(ctl.order))
-	var totalDesired int64
 	for _, name := range ctl.order {
 		f := ctl.funcs[name]
 		want, err := ctl.desiredContainers(f, f.LambdaHat)
 		if err != nil {
-			return fmt.Errorf("controller: sizing %s: %w", name, err)
+			return nil, fmt.Errorf("controller: sizing %s: %w", name, err)
 		}
 		f.Desired = want
-		d := fairshare.Demand{
+		demands = append(demands, fairshare.Demand{
 			ID:      name,
 			Weight:  f.Weight,
 			Desired: int64(want) * f.Spec.CPUMillis,
-		}
-		demands = append(demands, d)
+		})
+	}
+	return demands, nil
+}
+
+// enforceLocal is the paper's enforcement path: detect overload against
+// the local cluster capacity, adjust via fair share, and reconcile each
+// function's pool using the configured reclamation policy.
+func (ctl *Controller) enforceLocal(demands []fairshare.Demand) error {
+	now := ctl.hooks.Now()
+	var totalDesired int64
+	for _, d := range demands {
 		totalDesired += d.Desired
 	}
 
@@ -493,7 +579,7 @@ func (ctl *Controller) Step() error {
 		// No resource pressure: grant everyone their desire (§3.3).
 		for _, name := range ctl.order {
 			f := ctl.funcs[name]
-			if err := ctl.reconcileNormal(f); err != nil {
+			if err := ctl.reconcileNormal(f, f.Desired); err != nil {
 				return err
 			}
 		}
@@ -517,6 +603,91 @@ func (ctl *Controller) Step() error {
 	for _, name := range ctl.order {
 		f := ctl.funcs[name]
 		if err := ctl.growTo(f, grants[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// enforceGrants reconciles every function toward its externally-imposed
+// CPU grant instead of computing shares from local capacity. A grant below
+// the model desire is binding (overload semantics: immediate reclamation,
+// then growth into the grant); a grant at or above the desire reconciles
+// normally, growing past the model count when the grant pre-provisions
+// capacity for offloaded work the global allocator expects to arrive. An
+// infeasible grant set (summing beyond cluster capacity) is first scaled
+// down by one local capped adjustment, so enforcement never tries to place
+// more CPU than physically exists.
+func (ctl *Controller) enforceGrants(demands []fairshare.Demand) error {
+	now := ctl.hooks.Now()
+	var totalDesired int64
+	for _, d := range demands {
+		totalDesired += d.Desired
+	}
+	ctl.expireDrained(now)
+
+	capacity := ctl.cluster.TotalCPU()
+	ctl.headroom = capacity - totalDesired
+
+	targets := make(map[string]int64, len(demands))
+	var totalTarget int64
+	for _, d := range demands {
+		t := d.Desired
+		if g, ok := ctl.grants[d.ID]; ok {
+			t = g
+		}
+		if t < 0 {
+			t = 0
+		}
+		targets[d.ID] = t
+		totalTarget += t
+	}
+	if totalTarget > capacity {
+		feasible := make([]fairshare.Demand, len(demands))
+		for i, d := range demands {
+			feasible[i] = fairshare.Demand{ID: d.ID, Weight: d.Weight, Desired: targets[d.ID]}
+		}
+		allocs, err := fairshare.AdjustCapped(feasible, capacity)
+		if err != nil {
+			return err
+		}
+		for _, a := range allocs {
+			targets[a.ID] = a.Adjusted
+		}
+	}
+	bound := false
+	for _, d := range demands {
+		if targets[d.ID] < d.Desired {
+			bound = true
+			break
+		}
+	}
+	if bound {
+		ctl.stats.Overloads++
+	}
+	// Reclaim grant-bound pools first (freeing capacity), then grow.
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		if targets[name] < int64(f.Desired)*f.Spec.CPUMillis {
+			if err := ctl.shrinkTo(f, targets[name]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range ctl.order {
+		f := ctl.funcs[name]
+		desired := int64(f.Desired) * f.Spec.CPUMillis
+		if targets[name] < desired {
+			if err := ctl.growTo(f, targets[name]); err != nil {
+				return err
+			}
+			continue
+		}
+		want := f.Desired
+		if w := int(targets[name] / f.Spec.CPUMillis); w > want {
+			want = w // pre-provision toward the granted container count
+		}
+		if err := ctl.reconcileNormal(f, want); err != nil {
 			return err
 		}
 	}

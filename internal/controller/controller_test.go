@@ -569,3 +569,94 @@ func TestHeadroomSignal(t *testing.T) {
 		t.Errorf("headroom %d at 800 req/s on a %d mC cluster; want negative", h.ctl.Headroom(), h.cl.TotalCPU())
 	}
 }
+
+// TestExternalGrantsEnforced pins the external-grant enforcement path the
+// federation-wide allocator drives: a grant below the model desire binds
+// (the pool shrinks to the granted CPU), a grant above it pre-provisions
+// (the pool grows past the model count for expected offloads), and a nil
+// grant map restores local allocation.
+func TestExternalGrantsEnforced(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster()) // 3 nodes x 4000 mC
+	spec := mustSpec(t, "squeezenet")                    // 1000 mC standard
+	if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	if h.ctl.GrantedExternally() {
+		t.Error("GrantedExternally before any grant")
+	}
+
+	// Establish a local desire of several containers.
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	f, _ := h.ctl.Function(spec.Name)
+	if f.Desired < 3 {
+		t.Fatalf("desire %d containers at 40 req/s; want >= 3", f.Desired)
+	}
+	ds := h.ctl.Demands()
+	if len(ds) != 1 || ds[0].DesiredCPU != int64(f.Desired)*spec.CPUMillis {
+		t.Fatalf("Demands() = %+v, want desired CPU %d", ds, int64(f.Desired)*spec.CPUMillis)
+	}
+
+	// Binding grant: the pool must shrink to the granted CPU.
+	h.ctl.SetCapacityGrants(map[string]int64{spec.Name: 2000})
+	if !h.ctl.GrantedExternally() {
+		t.Error("GrantedExternally false after SetCapacityGrants")
+	}
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	if cpu := liveCPU(liveOf(h.cl, spec.Name)); cpu > 2000 {
+		t.Errorf("live CPU %d under a 2000 mC grant", cpu)
+	}
+
+	// Pre-provisioning grant: the pool must grow past the model desire.
+	h.ctl.SetCapacityGrants(map[string]int64{spec.Name: 9000})
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	if live := len(liveOf(h.cl, spec.Name)); live < 9 {
+		t.Errorf("%d live containers under a 9000 mC grant; want 9 (pre-provisioned)", live)
+	}
+
+	// An infeasible grant set is scaled to cluster capacity, not placed
+	// blindly.
+	h.ctl.SetCapacityGrants(map[string]int64{spec.Name: 50000})
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	if cpu := liveCPU(liveOf(h.cl, spec.Name)); cpu > h.cl.TotalCPU() {
+		t.Errorf("live CPU %d exceeds cluster capacity %d", cpu, h.cl.TotalCPU())
+	}
+
+	// Back to local allocation: the pool returns toward the model desire
+	// (surplus drains lazily, so live count falls to the desire after the
+	// drain TTL).
+	h.ctl.SetCapacityGrants(nil)
+	if h.ctl.GrantedExternally() {
+		t.Error("GrantedExternally after clearing grants")
+	}
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	h.now += h.ctl.Config().DrainTTL
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.step()
+	f, _ = h.ctl.Function(spec.Name)
+	if live := len(liveOf(h.cl, spec.Name)); live > f.Desired+1 {
+		t.Errorf("%d live containers after restoring local allocation; desire %d", live, f.Desired)
+	}
+}
+
+// TestExternalGrantsKeepHeadroomSignal verifies the demand-derived
+// headroom signal is unchanged by external grants: it still reflects
+// capacity minus model desire, so the federation's placement layer reads
+// the same overload signal in both modes.
+func TestExternalGrantsKeepHeadroomSignal(t *testing.T) {
+	h := newHarness(t, Config{}, cluster.PaperCluster())
+	spec := mustSpec(t, "squeezenet")
+	if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err != nil {
+		t.Fatal(err)
+	}
+	h.ctl.SetCapacityGrants(map[string]int64{spec.Name: 1000})
+	h.offer(spec.Name, 800, 5*time.Second)
+	h.step()
+	if !h.ctl.Overloaded() {
+		t.Error("offered 800 req/s: demand-derived headroom should be negative under grants too")
+	}
+}

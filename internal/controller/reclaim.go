@@ -37,11 +37,13 @@ func byReclaimOrder(cs []*cluster.Container) {
 	})
 }
 
-// reconcileNormal brings one function's pool to its model-computed desire
-// in the absence of resource pressure (§3.3): deflated containers are
+// reconcileNormal brings one function's pool to want containers in the
+// absence of resource pressure (§3.3): deflated containers are
 // re-inflated, missing containers are created (reviving drained ones
-// first), and surplus containers are marked for lazy termination.
-func (ctl *Controller) reconcileNormal(f *Function) error {
+// first), and surplus containers are marked for lazy termination. The
+// local allocation path passes the model-computed desire; the external
+// -grant path may pass a larger count to pre-provision for offloads.
+func (ctl *Controller) reconcileNormal(f *Function, want int) error {
 	now := ctl.hooks.Now()
 	// Restore deflated containers to standard size while headroom allows.
 	if !ctl.cfg.NoInflateOnSlack {
@@ -58,8 +60,8 @@ func (ctl *Controller) reconcileNormal(f *Function) error {
 	}
 	live := ctl.liveContainers(f.Spec.Name)
 	switch {
-	case len(live) < f.Desired:
-		deficit := f.Desired - len(live)
+	case len(live) < want:
+		deficit := want - len(live)
 		// Revive lazily-drained containers first: they are warm (§3.3).
 		draining := ctl.drainingContainers(f.Spec.Name)
 		sort.Slice(draining, func(i, j int) bool {
@@ -86,8 +88,8 @@ func (ctl *Controller) reconcileNormal(f *Function) error {
 				break
 			}
 		}
-	case len(live) > f.Desired:
-		surplus := len(live) - f.Desired
+	case len(live) > want:
+		surplus := len(live) - want
 		byReclaimOrder(live)
 		for _, c := range live {
 			if surplus == 0 {

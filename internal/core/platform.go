@@ -67,6 +67,7 @@ type FunctionResult struct {
 	Requeued   uint64
 	TimedOut   uint64
 	Offloaded  uint64
+	Rejected   uint64
 	Arrivals   uint64
 	Containers *metrics.Series // live container count over time
 	CPU        *metrics.Series // live CPU (millicores) over time
@@ -297,6 +298,7 @@ func (p *Platform) Collect(duration time.Duration) (*Result, error) {
 		r.Requeued = q.Requeued()
 		r.TimedOut = q.TimedOut()
 		r.Offloaded = q.Offloaded()
+		r.Rejected = q.Rejected()
 		res.Functions[name] = r
 	}
 	return res, nil

@@ -95,6 +95,7 @@ type Queue struct {
 	requeued  uint64
 	timedOut  uint64
 	offloaded uint64
+	rejected  uint64
 }
 
 // NewQueue builds a dispatcher for one function. sloDeadline bounds the
@@ -148,6 +149,16 @@ func (q *Queue) Requeued() uint64 { return q.requeued }
 
 // Offloaded returns the number of arrivals claimed by the Offload hook.
 func (q *Queue) Offloaded() uint64 { return q.offloaded }
+
+// Rejected returns the number of arrivals refused by admission control.
+func (q *Queue) Rejected() uint64 { return q.rejected }
+
+// Reject records one arrival refused by admission control (§3.4): the
+// request is dropped without being enqueued or served anywhere. The
+// federation's offload-aware admission calls this only after every peer
+// and the cloud declined — a rejected request therefore stays an SLO
+// violation at its origin (via the unresolved accounting).
+func (q *Queue) Reject(r *Request) { q.rejected++ }
 
 // Containers returns the number of containers attached to the queue.
 func (q *Queue) Containers() int { return len(q.entries) }

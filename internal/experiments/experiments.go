@@ -99,6 +99,19 @@ type FedOptions struct {
 	CloudAlwaysWarm         bool
 	CloudPricePerInvocation float64
 	CloudPricePerGBSecond   float64
+	// GlobalFairShare runs the sweeps under the federation-wide §4.1
+	// allocator instead of per-site-local allocation; AllocEpoch tunes
+	// its period (zero keeps the 5s default).
+	GlobalFairShare bool
+	AllocEpoch      time.Duration
+	// Admission turns on offload-aware §3.4 admission control.
+	Admission bool
+	// PeerSelection picks the shed-target peer: "" or "nearest"
+	// (strict RTT order) or "p2c" (power-of-two-choices by headroom).
+	PeerSelection string
+	// CloudMaxConcurrency caps concurrent cloud instances per function
+	// (0 = unbounded).
+	CloudMaxConcurrency int
 }
 
 // dur picks between the full (paper) and quick durations.

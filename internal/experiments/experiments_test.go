@@ -379,7 +379,7 @@ func TestFederationTraceShapeHolds(t *testing.T) {
 	}
 	agg := func(policy string) []string {
 		for _, row := range tab.Rows {
-			if row[0] == policy && row[1] == "all" {
+			if row[0] == policy && row[2] == "all" {
 				return row
 			}
 		}
@@ -390,23 +390,23 @@ func TestFederationTraceShapeHolds(t *testing.T) {
 	// Arrivals are workload-driven, so they must be identical across
 	// policies; the never policy must neither offload nor pay the cloud.
 	for _, policy := range []string{"cloud-only", "nearest-peer", "model-driven"} {
-		if got := agg(policy)[2]; got != never[2] {
-			t.Errorf("%s arrivals %s != never arrivals %s", policy, got, never[2])
+		if got := agg(policy)[3]; got != never[3] {
+			t.Errorf("%s arrivals %s != never arrivals %s", policy, got, never[3])
 		}
 	}
-	if never[4] != "0" || never[5] != "0" || never[6] != "0" {
+	if never[5] != "0" || never[6] != "0" || never[8] != "0" {
 		t.Errorf("never policy offloaded or cold-started: %v", never)
 	}
-	if cost, _ := strconv.ParseFloat(never[7], 64); cost != 0 {
+	if cost, _ := strconv.ParseFloat(never[9], 64); cost != 0 {
 		t.Errorf("never policy accrued cloud cost %v", cost)
 	}
 	// Cloud-heavy policies must pay: cloud-only offloads, cold-starts at
 	// least once, and accrues nonzero cost on this overloaded scenario.
 	co := agg("cloud-only")
-	if co[5] == "0" || co[6] == "0" {
+	if co[6] == "0" || co[8] == "0" {
 		t.Errorf("cloud-only did not offload/cold-start: %v", co)
 	}
-	if cost, _ := strconv.ParseFloat(co[7], 64); cost <= 0 {
+	if cost, _ := strconv.ParseFloat(co[9], 64); cost <= 0 {
 		t.Errorf("cloud-only accrued no cost: %v", co)
 	}
 	neverRate, _ := strconv.ParseFloat(never[len(never)-1], 64)
@@ -423,7 +423,7 @@ func TestFederationShapeHolds(t *testing.T) {
 	}
 	rate := func(policy string) float64 {
 		for _, row := range tab.Rows {
-			if row[0] == policy && row[1] == "all" {
+			if row[0] == policy && row[2] == "all" {
 				v, err := strconv.ParseFloat(row[len(row)-1], 64)
 				if err != nil {
 					t.Fatalf("bad violation rate %q: %v", row[len(row)-1], err)
@@ -442,5 +442,64 @@ func TestFederationShapeHolds(t *testing.T) {
 	}
 	if never < 0.05 {
 		t.Errorf("never-policy violation rate %.4f too low: the burst should overload edge-0", never)
+	}
+}
+
+// TestFederationFairShareGlobalBeatsLocal is the acceptance bar for the
+// federation-wide allocator: on the skewed-load scenario, global
+// allocation must strictly reduce total SLO violations versus
+// per-site-local allocation under the nearest-peer offload policy, and
+// the allocator's cross-site drift must be visible in the sweep table.
+func TestFederationFairShareGlobalBeatsLocal(t *testing.T) {
+	tab, err := FederationFairShare(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 24 { // 2 allocs x 3 policies x (3 sites + aggregate)
+		t.Fatalf("rows=%d want 24", len(tab.Rows))
+	}
+	violations := func(policy, alloc string) float64 {
+		t.Helper()
+		row, err := FairShareAggregate(tab, policy, alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := strconv.ParseFloat(row[len(row)-1], 64)
+		if err != nil {
+			t.Fatalf("bad violation rate %q: %v", row[len(row)-1], err)
+		}
+		return v
+	}
+	local := violations("nearest-peer", "local")
+	global := violations("nearest-peer", "global")
+	if global >= local {
+		t.Errorf("global allocation violation rate %.4f not strictly below local %.4f", global, local)
+	}
+	// The hot site's offered demand cannot fit its own cluster, so the
+	// global allocator must be moving capacity: nonzero cross-site drift.
+	row, err := FairShareAggregate(tab, "nearest-peer", "global")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift, err := strconv.ParseFloat(row[11], 64)
+	if err != nil || drift <= 0 {
+		t.Errorf("global aggregate drift-mC = %q, want > 0 (err %v)", row[11], err)
+	}
+	// Local allocation reports zero drift by construction.
+	lrow, err := FairShareAggregate(tab, "nearest-peer", "local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ldrift, err := strconv.ParseFloat(lrow[11], 64); err != nil || ldrift != 0 {
+		t.Errorf("local aggregate drift-mC = %q, want 0 (err %v)", lrow[11], err)
+	}
+	// §3.4 admission verbatim (policy never): sheddable requests are
+	// rejected, not stranded.
+	nrow, err := FairShareAggregate(tab, "never", "local")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nrow[7] == "0" {
+		t.Error("policy never + admission rejected nothing on a 3x overload")
 	}
 }

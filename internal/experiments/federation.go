@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -55,7 +56,8 @@ func federationSites(opt Options, unit time.Duration) ([]core.Config, time.Durat
 }
 
 // federationConfig assembles a federation.Config for the sweep, applying
-// the command-line topology and cloud knobs from opt.Fed.
+// the command-line topology, cloud, allocation, and admission knobs from
+// opt.Fed.
 func federationConfig(opt Options, sites []core.Config, policy federation.Policy) (federation.Config, error) {
 	cfg := federation.Config{
 		Sites:                   sites,
@@ -65,6 +67,20 @@ func federationConfig(opt Options, sites []core.Config, policy federation.Policy
 		CloudAlwaysWarm:         opt.Fed.CloudAlwaysWarm,
 		CloudPricePerInvocation: opt.Fed.CloudPricePerInvocation,
 		CloudPricePerGBSecond:   opt.Fed.CloudPricePerGBSecond,
+		GlobalFairShare:         opt.Fed.GlobalFairShare,
+		AllocEpoch:              opt.Fed.AllocEpoch,
+		OffloadAwareAdmission:   opt.Fed.Admission,
+		CloudMaxConcurrency:     opt.Fed.CloudMaxConcurrency,
+	}
+	switch opt.Fed.PeerSelection {
+	case "":
+		// NearestFirst, the historical default.
+	default:
+		ps, err := federation.ParsePeerSelection(opt.Fed.PeerSelection)
+		if err != nil {
+			return federation.Config{}, err
+		}
+		cfg.PeerSelection = ps
 	}
 	switch opt.Fed.Topology {
 	case "", "ring":
@@ -81,15 +97,100 @@ func federationConfig(opt Options, sites []core.Config, policy federation.Policy
 	return cfg, nil
 }
 
-// federationSweepHeader is shared by the synthetic and trace-driven
-// sweeps; the violation rate stays the last column so downstream tooling
-// can key on it.
-var federationSweepHeader = []string{"policy", "site", "arrivals", "local", "to-peer", "to-cloud",
-	"cloud-cold", "cloud-cost-$", "p95 resp ms", "violation rate"}
+// federationSweepHeader is shared by the synthetic, trace-driven, and
+// fair-share sweeps; the violation rate stays the last column so
+// downstream tooling can key on it. The stranded-capacity and
+// cross-site-drift columns are federation-level allocator measurements,
+// reported on the aggregate row (blank per site; zero under per-site
+// -local allocation).
+var federationSweepHeader = []string{"policy", "alloc", "site", "arrivals", "local", "to-peer",
+	"to-cloud", "rejected", "cloud-cold", "cloud-cost-$", "stranded-mC", "drift-mC",
+	"p95 resp ms", "violation rate"}
+
+// allocLabel names the allocation mode column value.
+func allocLabel(global bool) string {
+	if global {
+		return "global"
+	}
+	return "local"
+}
+
+// addFederationRows appends one run's per-site and aggregate rows to the
+// table.
+func addFederationRows(t *Table, res *federation.Result) {
+	alloc := allocLabel(res.GlobalFairShare)
+	var arrivals, local, toPeer, toCloud, rejected, coldStarts, violated, total uint64
+	var cost float64
+	for _, s := range res.Sites {
+		var sa uint64
+		for _, fr := range s.Core.Functions {
+			sa += fr.Arrivals
+		}
+		arrivals += sa
+		local += s.ServedLocal
+		toPeer += s.OffloadedPeer
+		toCloud += s.OffloadedCloud
+		rejected += s.Rejected
+		coldStarts += s.CloudColdStarts
+		cost += s.CloudCost
+		// Unresolved requests (still backlogged at run end) count as
+		// violations: excluding them would flatter exactly the
+		// policies that strand the most work.
+		violated += s.Violations()
+		total += s.SLO.Total() + s.Unresolved
+		t.AddRow(res.Policy.String(), alloc, s.Name,
+			fmt.Sprintf("%d", sa),
+			fmt.Sprintf("%d", s.ServedLocal),
+			fmt.Sprintf("%d", s.OffloadedPeer),
+			fmt.Sprintf("%d", s.OffloadedCloud),
+			fmt.Sprintf("%d", s.Rejected),
+			fmt.Sprintf("%d", s.CloudColdStarts),
+			fmt.Sprintf("%.6f", s.CloudCost),
+			"", "",
+			msF(s.Responses.Quantile(0.95)),
+			fmt.Sprintf("%.4f", s.ViolationRate()))
+	}
+	t.AddRow(res.Policy.String(), alloc, "all",
+		fmt.Sprintf("%d", arrivals),
+		fmt.Sprintf("%d", local),
+		fmt.Sprintf("%d", toPeer),
+		fmt.Sprintf("%d", toCloud),
+		fmt.Sprintf("%d", rejected),
+		fmt.Sprintf("%d", coldStarts),
+		fmt.Sprintf("%.6f", cost),
+		fmt.Sprintf("%.0f", res.MeanStrandedCPU),
+		fmt.Sprintf("%.0f", res.MeanAllocDriftCPU),
+		"",
+		fmt.Sprintf("%.4f", violationRate(violated, total)))
+}
+
+// MissingBaselineColumns compares a committed sweep-baseline JSON (the
+// Table serialization, e.g. BENCH_federation.json) against the columns a
+// table now produces and returns the columns the baseline lacks — the
+// staleness signal both the test suite and the bench smoke step fail on.
+func MissingBaselineColumns(baselineJSON []byte, tab *Table) ([]string, error) {
+	var baseline struct{ Header []string }
+	if err := json.Unmarshal(baselineJSON, &baseline); err != nil {
+		return nil, fmt.Errorf("experiments: unparsable baseline: %w", err)
+	}
+	have := make(map[string]bool, len(baseline.Header))
+	for _, h := range baseline.Header {
+		have[h] = true
+	}
+	var missing []string
+	for _, h := range tab.Header {
+		if !have[h] {
+			missing = append(missing, h)
+		}
+	}
+	return missing, nil
+}
 
 // sweepFederationPolicies runs all placement policies over freshly built
 // sites, appends per-site and aggregate rows to the table, and verifies
-// the never policy bit-for-bit against standalone runs.
+// the never policy bit-for-bit against standalone runs (under
+// per-site-local allocation; global grants legitimately change pool
+// sizing, so the pure-superset invariant is asserted on the local path).
 func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 	for _, policy := range federation.Policies() {
 		sites, end, err := build()
@@ -108,48 +209,12 @@ func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 		if err != nil {
 			return err
 		}
-		if policy == federation.Never {
+		if policy == federation.Never && !fcfg.GlobalFairShare && !fcfg.OffloadAwareAdmission {
 			if err := checkNeverBaseline(build, res); err != nil {
 				return err
 			}
 		}
-		var arrivals, local, toPeer, toCloud, coldStarts, violated, total uint64
-		var cost float64
-		for _, s := range res.Sites {
-			var sa uint64
-			for _, fr := range s.Core.Functions {
-				sa += fr.Arrivals
-			}
-			arrivals += sa
-			local += s.ServedLocal
-			toPeer += s.OffloadedPeer
-			toCloud += s.OffloadedCloud
-			coldStarts += s.CloudColdStarts
-			cost += s.CloudCost
-			// Unresolved requests (still backlogged at run end) count as
-			// violations: excluding them would flatter exactly the
-			// policies that strand the most work.
-			violated += s.Violations()
-			total += s.SLO.Total() + s.Unresolved
-			t.AddRow(policy.String(), s.Name,
-				fmt.Sprintf("%d", sa),
-				fmt.Sprintf("%d", s.ServedLocal),
-				fmt.Sprintf("%d", s.OffloadedPeer),
-				fmt.Sprintf("%d", s.OffloadedCloud),
-				fmt.Sprintf("%d", s.CloudColdStarts),
-				fmt.Sprintf("%.6f", s.CloudCost),
-				msF(s.Responses.Quantile(0.95)),
-				fmt.Sprintf("%.4f", s.ViolationRate()))
-		}
-		t.AddRow(policy.String(), "all",
-			fmt.Sprintf("%d", arrivals),
-			fmt.Sprintf("%d", local),
-			fmt.Sprintf("%d", toPeer),
-			fmt.Sprintf("%d", toCloud),
-			fmt.Sprintf("%d", coldStarts),
-			fmt.Sprintf("%.6f", cost),
-			"",
-			fmt.Sprintf("%.4f", violationRate(violated, total)))
+		addFederationRows(t, res)
 	}
 	return nil
 }
@@ -220,6 +285,7 @@ func checkNeverBaseline(build siteBuilder, fres *federation.Result) error {
 				{"timed-out", got.TimedOut, ref.TimedOut},
 				{"requeued", got.Requeued, ref.Requeued},
 				{"offloaded", got.Offloaded, ref.Offloaded},
+				{"rejected", got.Rejected, ref.Rejected},
 				{"SLO violations", got.SLO.Violations(), ref.SLO.Violations()},
 			}
 			for _, c := range counters {

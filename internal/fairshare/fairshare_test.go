@@ -415,3 +415,131 @@ func TestQuickTreeConservation(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// --- site → user → function trees (the federation-wide allocator's shape) ---
+
+// TestAllocateTreeSiteUserFunction exercises the three-level hierarchy the
+// global allocator builds: federation root → site → user → function, with
+// uneven site capacities expressed as uneven site weights and desires.
+func TestAllocateTreeSiteUserFunction(t *testing.T) {
+	root := &Node{ID: "fed", Children: []*Node{
+		{ID: "site:a", Weight: 1, Children: []*Node{
+			{ID: "site:a/user:u1", Weight: 1, Children: []*Node{
+				{ID: "site:a/f", Weight: 1, Desired: 6000},
+				{ID: "site:a/g", Weight: 3, Desired: 6000},
+			}},
+		}},
+		{ID: "site:b", Weight: 1, Children: []*Node{
+			{ID: "site:b/user:u1", Weight: 1, Children: []*Node{
+				{ID: "site:b/f", Weight: 1, Desired: 2000},
+			}},
+		}},
+	}}
+	got, err := AllocateTree(root, 8000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root overload (14000 desired over 8000): site b is well behaved
+	// (2000 <= guaranteed 4000) and keeps its desire; site a gets the
+	// remaining 6000, split 1:3 between its functions.
+	if got["site:b/f"] != 2000 {
+		t.Errorf("site:b/f = %d want 2000", got["site:b/f"])
+	}
+	if a := got["site:a/f"] + got["site:a/g"]; a != 6000 {
+		t.Errorf("site a total = %d want 6000", a)
+	}
+	if got["site:a/g"] <= got["site:a/f"] {
+		t.Errorf("weights ignored inside site a: f=%d g=%d", got["site:a/f"], got["site:a/g"])
+	}
+}
+
+// TestAllocateTreeZeroDemandSites: sites with zero desire (or no function
+// children at all) receive nothing and poison nothing.
+func TestAllocateTreeZeroDemandSites(t *testing.T) {
+	root := &Node{ID: "fed", Children: []*Node{
+		{ID: "site:busy", Weight: 1, Children: []*Node{
+			{ID: "site:busy/f", Weight: 1, Desired: 3000},
+		}},
+		{ID: "site:idle", Weight: 1, Children: []*Node{
+			{ID: "site:idle/f", Weight: 1, Desired: 0},
+		}},
+		{ID: "site:bare", Weight: 1}, // no functions registered: a zero-desire leaf
+	}}
+	got, err := AllocateTree(root, 2000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["site:idle/f"] != 0 {
+		t.Errorf("idle site granted %d want 0", got["site:idle/f"])
+	}
+	if got["site:bare"] != 0 {
+		t.Errorf("functionless site granted %d want 0", got["site:bare"])
+	}
+	if got["site:busy/f"] != 2000 {
+		t.Errorf("busy site granted %d want the full 2000", got["site:busy/f"])
+	}
+}
+
+// TestAllocateTreeWeightsSumAcrossSites: the same function deployed at two
+// sites with equal site weights splits a federation-level overload evenly,
+// and tripling one site's weight shifts the split accordingly — the
+// "global weight governs aggregate capacity" property.
+func TestAllocateTreeWeightsSumAcrossSites(t *testing.T) {
+	build := func(wa float64) *Node {
+		return &Node{ID: "fed", Children: []*Node{
+			{ID: "site:a", Weight: wa, Children: []*Node{
+				{ID: "site:a/f", Weight: 1, Desired: 8000},
+			}},
+			{ID: "site:b", Weight: 1, Children: []*Node{
+				{ID: "site:b/f", Weight: 1, Desired: 8000},
+			}},
+		}}
+	}
+	even, err := AllocateTree(build(1), 8000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if even["site:a/f"] != 4000 || even["site:b/f"] != 4000 {
+		t.Errorf("even weights: a=%d b=%d want 4000/4000", even["site:a/f"], even["site:b/f"])
+	}
+	skew, err := AllocateTree(build(3), 8000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skew["site:a/f"] != 6000 || skew["site:b/f"] != 2000 {
+		t.Errorf("3:1 weights: a=%d b=%d want 6000/2000", skew["site:a/f"], skew["site:b/f"])
+	}
+}
+
+// TestAllocateTreeSingleSiteEqualsAdjustCapped pins the regression the
+// refactor promises: a one-site tree allocates exactly what the flat
+// AdjustCapped adjustment gives the same demands, so lifting the allocator
+// into the tree changes nothing for a standalone cluster.
+func TestAllocateTreeSingleSiteEqualsAdjustCapped(t *testing.T) {
+	demands := []Demand{
+		{ID: "f1", Weight: 1, Desired: 5000},
+		{ID: "f2", Weight: 2, Desired: 3000},
+		{ID: "f3", Weight: 1, Desired: 200},
+		{ID: "f4", Weight: 4, Desired: 9000},
+	}
+	for _, capacity := range []int64{1000, 6000, 17000, 20000} {
+		want, err := AdjustCapped(demands, capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		site := &Node{ID: "site"}
+		for _, d := range demands {
+			site.Children = append(site.Children, &Node{ID: d.ID, Weight: d.Weight, Desired: d.Desired})
+		}
+		got, err := AllocateTree(site, capacity, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range want {
+			if got[w.ID] != w.Adjusted {
+				t.Errorf("capacity %d: %s tree=%d AdjustCapped=%d",
+					capacity, w.ID, got[w.ID], w.Adjusted)
+			}
+		}
+	}
+}

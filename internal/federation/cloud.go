@@ -32,12 +32,13 @@ type cloudInstance struct {
 }
 
 // cloudPool models the warm-window behaviour of a FaaS cloud backend for
-// one function. Capacity is still unbounded — a new instance can always be
-// created — but a request that cannot reuse an idle warm instance pays the
+// one function. A request that cannot reuse an idle warm instance pays the
 // function's cold-start latency first, so the cloud is no longer flattered
-// as an always-warm free absorber. Reuse is most-recently-used (the
-// instance with the latest warm deadline), the policy real platforms use
-// so that surplus instances age out.
+// as an always-warm free absorber; with a concurrency cap (the real FaaS
+// throttle) instance creation is bounded too, and requests at the cap
+// queue FIFO for the next instance to free up. Reuse is
+// most-recently-used (the instance with the latest warm deadline), the
+// policy real platforms use so that surplus instances age out.
 type cloudPool struct {
 	instances []*cloudInstance
 }
@@ -54,11 +55,16 @@ func (p *cloudPool) hasWarm(at time.Duration) bool {
 }
 
 // acquire reserves an instance for a request arriving at time at that will
-// execute for run, and returns the cold-start delay the request pays: zero
-// when an idle warm instance is reused, coldStart when a fresh instance
-// must be provisioned. The chosen instance is busy for (cold + run) and
-// then stays warm for warmWindow.
-func (p *cloudPool) acquire(at, run, coldStart, warmWindow time.Duration) time.Duration {
+// execute for run. It returns the queueing delay the request pays at the
+// concurrency cap (zero when uncapped or a slot is free) and the
+// cold-start delay (zero when an idle warm instance is reused, coldStart
+// when a fresh instance must be provisioned). With maxConc > 0 the pool
+// never exceeds that many instances: a request finding all of them busy
+// waits FIFO for the earliest-free instance and starts on it warm — the
+// handoff is instance reuse, not a fresh provision. The chosen instance
+// is busy until wait + cold + run after arrival and then stays warm for
+// warmWindow.
+func (p *cloudPool) acquire(at, run, coldStart, warmWindow time.Duration, maxConc int) (wait, cold time.Duration) {
 	// Drop instances whose warm window has lapsed; a busy instance is
 	// always within its window (warmUntil >= busyUntil), so nothing
 	// in-flight can be dropped.
@@ -79,13 +85,55 @@ func (p *cloudPool) acquire(at, run, coldStart, warmWindow time.Duration) time.D
 			best = in
 		}
 	}
-	cold := time.Duration(0)
 	if best == nil {
+		if maxConc > 0 && len(p.instances) >= maxConc {
+			// At the cap: queue for the instance that frees first.
+			// Arrivals are processed in time order, so bumping its busy
+			// horizon keeps the hand-offs FIFO.
+			soonest := p.instances[0]
+			for _, in := range p.instances[1:] {
+				if in.busyUntil < soonest.busyUntil {
+					soonest = in
+				}
+			}
+			wait = soonest.busyUntil - at
+			soonest.busyUntil += run
+			soonest.warmUntil = soonest.busyUntil + warmWindow
+			return wait, 0
+		}
 		cold = coldStart
 		best = &cloudInstance{}
 		p.instances = append(p.instances, best)
 	}
 	best.busyUntil = at + cold + run
 	best.warmUntil = best.busyUntil + warmWindow
-	return cold
+	return 0, cold
+}
+
+// predictWait returns the queueing delay a request arriving at time at
+// would pay before starting execution: zero when uncapped, when an idle
+// warm instance exists, or when the pool may still grow; otherwise the
+// time until the earliest-free instance hands over.
+func (p *cloudPool) predictWait(at time.Duration, maxConc int) time.Duration {
+	if maxConc <= 0 {
+		return 0
+	}
+	live := 0
+	var soonest time.Duration = -1
+	for _, in := range p.instances {
+		if in.warmUntil < at {
+			continue
+		}
+		live++
+		if in.busyUntil <= at {
+			return 0 // idle warm instance: immediate start
+		}
+		if soonest < 0 || in.busyUntil < soonest {
+			soonest = in.busyUntil
+		}
+	}
+	if live < maxConc {
+		return 0
+	}
+	return soonest - at
 }

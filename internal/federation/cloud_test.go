@@ -261,3 +261,83 @@ func TestPredictResponseDeflatedPool(t *testing.T) {
 		t.Errorf("unknown function predicted %.6f, want +Inf", v)
 	}
 }
+
+// TestCloudPoolConcurrencyCapFIFO pins the capped pool's arithmetic: at
+// the cap a request waits exactly until the earliest-free instance hands
+// over, hand-offs are warm (no cold start), and predictWait agrees with
+// what acquire then charges.
+func TestCloudPoolConcurrencyCapFIFO(t *testing.T) {
+	p := &cloudPool{}
+	const (
+		run  = 100 * time.Millisecond
+		cold = 50 * time.Millisecond
+		warm = time.Minute
+	)
+	// First request provisions the only allowed instance: cold, no wait.
+	wait, gotCold := p.acquire(0, run, cold, warm, 1)
+	if wait != 0 || gotCold != cold {
+		t.Fatalf("first acquire: wait=%v cold=%v want 0/%v", wait, gotCold, cold)
+	}
+	// busy until 150ms. A request at 10ms must wait 140ms and start warm.
+	if w := p.predictWait(10*time.Millisecond, 1); w != 140*time.Millisecond {
+		t.Errorf("predictWait = %v want 140ms", w)
+	}
+	wait, gotCold = p.acquire(10*time.Millisecond, run, cold, warm, 1)
+	if wait != 140*time.Millisecond || gotCold != 0 {
+		t.Errorf("capped acquire: wait=%v cold=%v want 140ms/0", wait, gotCold)
+	}
+	// Now busy until 250ms; FIFO means the next arrival queues behind both.
+	wait, gotCold = p.acquire(20*time.Millisecond, run, cold, warm, 1)
+	if wait != 230*time.Millisecond || gotCold != 0 {
+		t.Errorf("second capped acquire: wait=%v cold=%v want 230ms/0", wait, gotCold)
+	}
+	// Uncapped pools never wait.
+	if w := p.predictWait(20*time.Millisecond, 0); w != 0 {
+		t.Errorf("uncapped predictWait = %v want 0", w)
+	}
+	// After the backlog drains, an idle warm instance is reused directly.
+	wait, gotCold = p.acquire(time.Second, run, cold, warm, 1)
+	if wait != 0 || gotCold != 0 {
+		t.Errorf("post-drain acquire: wait=%v cold=%v want 0/0 (warm reuse)", wait, gotCold)
+	}
+}
+
+// TestCloudConcurrencyCapCountsQueueWait: end to end, a throttled cloud
+// queues offloads (CloudQueued counters) and the waits land in the
+// observed response times.
+func TestCloudConcurrencyCapCountsQueueWait(t *testing.T) {
+	spec := detSpec(100 * time.Millisecond)
+	build := func(cap int) *Federation {
+		fed, err := New(Config{
+			Sites:               []core.Config{shedAllSite(t, spec, 20, 7, 0)},
+			Policy:              CloudOnly,
+			CloudMaxConcurrency: cap,
+			Seed:                13,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+	uncapped := build(0)
+	ures, err := uncapped.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := build(1)
+	cres, err := capped.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ures.CloudQueued != 0 {
+		t.Errorf("uncapped cloud queued %d", ures.CloudQueued)
+	}
+	if cres.CloudQueued == 0 {
+		t.Fatal("capped cloud never queued at 20 req/s over a 1-instance, 10 req/s throttle")
+	}
+	up95 := ures.Sites[0].Responses.Quantile(0.95)
+	cp95 := cres.Sites[0].Responses.Quantile(0.95)
+	if cp95 <= up95 {
+		t.Errorf("capped P95 %.3fs not above uncapped %.3fs: queue wait not in response time", cp95, up95)
+	}
+}

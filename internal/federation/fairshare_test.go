@@ -1,0 +1,201 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"lass/internal/cluster"
+	"lass/internal/core"
+)
+
+// TestGlobalFairShareAppliesGrants: with the global allocator on, epochs
+// run, grants reach every site's controller, and the run reports the
+// allocator's epoch count.
+func TestGlobalFairShareAppliesGrants(t *testing.T) {
+	cfg := Config{
+		Sites: []core.Config{
+			staticSite(t, "squeezenet", 30, 1, cluster.PaperCluster()),
+			staticSite(t, "squeezenet", 5, 2, cluster.PaperCluster()),
+		},
+		Policy:          NearestPeer,
+		GlobalFairShare: true,
+		Seed:            9,
+	}
+	fed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllocEpochs == 0 {
+		t.Fatal("no global allocation epochs ran")
+	}
+	if !res.GlobalFairShare {
+		t.Error("result does not report global fair share")
+	}
+	for i, s := range fed.Sites {
+		if !s.Platform.Controller.GrantedExternally() {
+			t.Errorf("site %d controller never received grants", i)
+		}
+	}
+}
+
+// TestGrantsChargedCoordinationRTT: a site whose round trip to the
+// coordinator exceeds the run length never receives its grants — the
+// coordination latency is charged through the topology matrix, not
+// assumed away — while the coordinator site itself (zero RTT) does.
+func TestGrantsChargedCoordinationRTT(t *testing.T) {
+	cfg := Config{
+		Sites: []core.Config{
+			staticSite(t, "squeezenet", 10, 1, cluster.PaperCluster()),
+			staticSite(t, "squeezenet", 10, 2, cluster.PaperCluster()),
+		},
+		Policy:          Never,
+		GlobalFairShare: true,
+		AllocEpoch:      5 * time.Second,
+		PeerRTT:         30 * time.Second, // round trip 60s >> run
+		Seed:            9,
+	}
+	fed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fed.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fed.Sites[0].Platform.Controller.GrantedExternally() {
+		t.Error("coordinator site (RTT 0) never received grants")
+	}
+	if fed.Sites[1].Platform.Controller.GrantedExternally() {
+		t.Error("remote site received grants before the coordination round trip elapsed")
+	}
+}
+
+// TestPowerOfTwoChoicesSpreadsPeerLoad: under strict RTT order a short
+// overload burst lands entirely on the first peer in scan order; under
+// power-of-two-choices the same burst is spread across both peers.
+func TestPowerOfTwoChoicesSpreadsPeerLoad(t *testing.T) {
+	build := func(sel PeerSelection) *Federation {
+		cfg := Config{
+			Sites: []core.Config{
+				staticSite(t, "squeezenet", 120, 3, tinyCluster()), // 3x capacity
+				staticSite(t, "squeezenet", 1, 4, cluster.PaperCluster()),
+				staticSite(t, "squeezenet", 1, 5, cluster.PaperCluster()),
+			},
+			Policy:        NearestPeer,
+			PeerSelection: sel,
+			Seed:          11,
+		}
+		fed, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
+	}
+
+	fed := build(NearestFirst)
+	if _, err := fed.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	nearestFirstPeer := fed.Sites[1].PeerServed
+	nearestSecondPeer := fed.Sites[2].PeerServed
+	if nearestFirstPeer == 0 {
+		t.Fatal("nearest-first shed nothing to its first peer")
+	}
+
+	fed = build(PowerOfTwoChoices)
+	if _, err := fed.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := fed.Sites[1].PeerServed, fed.Sites[2].PeerServed
+	if p1 == 0 || p2 == 0 {
+		t.Fatalf("p2c did not use both peers: %d / %d", p1, p2)
+	}
+	// p2c must spread strictly better than the strict-RTT scan: its
+	// larger share is smaller than nearest-first's larger share.
+	maxNearest, maxP2C := nearestFirstPeer, p1
+	if nearestSecondPeer > maxNearest {
+		maxNearest = nearestSecondPeer
+	}
+	if p2 > maxP2C {
+		maxP2C = p2
+	}
+	if maxP2C >= maxNearest {
+		t.Errorf("p2c max peer share %d not below nearest-first max %d (nearest %d/%d, p2c %d/%d)",
+			maxP2C, maxNearest, nearestFirstPeer, nearestSecondPeer, p1, p2)
+	}
+}
+
+// TestAdmissionRejectsOnlyWithoutHeadroom: §3.4 admission under policy
+// Never rejects sheddable requests at an overloaded origin; the same
+// overload under NearestPeer is absorbed by an idle peer instead, and
+// nothing is rejected while a grant somewhere has headroom.
+func TestAdmissionRejectsOnlyWithoutHeadroom(t *testing.T) {
+	sites := func() []core.Config {
+		return []core.Config{
+			staticSite(t, "squeezenet", 60, 3, tinyCluster()),
+			staticSite(t, "squeezenet", 1, 4, cluster.PaperCluster()),
+		}
+	}
+
+	fed, err := New(Config{Sites: sites(), Policy: Never, OffloadAwareAdmission: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Error("policy never + admission: overloaded origin rejected nothing")
+	}
+	if res.Sites[0].Rejected != res.Rejected {
+		t.Error("rejections not attributed to the overloaded origin")
+	}
+
+	fed, err = New(Config{Sites: sites(), Policy: NearestPeer, OffloadAwareAdmission: true, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = fed.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected != 0 {
+		t.Errorf("nearest-peer + admission rejected %d with an idle peer and an unbounded cloud", res.Rejected)
+	}
+	if res.Sites[0].OffloadedPeer == 0 && res.Sites[0].OffloadedCloud == 0 {
+		t.Error("overloaded origin offloaded nothing")
+	}
+}
+
+// TestAdmissionRejectsWhenCloudThrottled: with no peers and a cloud
+// throttled to one instance, the projected queue wait quickly exceeds the
+// SLO and admission rejects rather than stranding work in a hopeless
+// queue.
+func TestAdmissionRejectsWhenCloudThrottled(t *testing.T) {
+	fed, err := New(Config{
+		Sites: []core.Config{
+			staticSite(t, "squeezenet", 60, 3, tinyCluster()),
+		},
+		Policy:                NearestPeer,
+		OffloadAwareAdmission: true,
+		CloudMaxConcurrency:   1,
+		Seed:                  5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Error("throttled cloud with no peers: admission rejected nothing")
+	}
+	if res.CloudQueued == 0 {
+		t.Error("no cloud offload ever queued at the concurrency cap")
+	}
+}

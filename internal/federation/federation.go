@@ -20,14 +20,26 @@
 // Topology get the original ring — sites at ring distance d are
 // d×Config.PeerRTT apart — so "nearest peer" keeps its historical meaning.
 //
-// The cloud is modelled as unbounded standard-size capacity behind
-// Config.CloudRTT, but it is neither always-warm nor free: each function
-// has a warm-instance pool with a keep-alive window, the first request
-// after idle pays the function's cold-start latency behind the RTT, and
-// every invocation accrues cost at configurable FaaS price points. Cloud
+// The cloud is modelled as standard-size capacity behind Config.CloudRTT,
+// but it is neither always-warm nor free: each function has a
+// warm-instance pool with a keep-alive window, the first request after
+// idle pays the function's cold-start latency behind the RTT, and every
+// invocation accrues cost at configurable FaaS price points. Cloud
 // executions also honour the function's hard execution limit (§2.1) —
 // a request whose sampled service time exceeds the limit is killed and
-// counted as a violation at its origin site.
+// counted as a violation at its origin site. Config.CloudMaxConcurrency
+// adds the real FaaS throttle: at the cap, offloads queue FIFO for the
+// next free instance and the wait counts toward response time.
+//
+// Beyond per-request placement, Config.GlobalFairShare lifts the paper's
+// §4.1 weighted fair-share allocator to the federation level
+// (internal/allocation): a coordinator site gathers every controller's
+// demand report each epoch, water-fills the federation's total edge
+// capacity over the site → user → function tree, and pushes per-site
+// grants back down after the coordination round trip read from the
+// topology. Config.OffloadAwareAdmission couples §3.4 admission control
+// to placement: sheddable requests are offered along the policy's
+// placement preferences and rejected only as a last resort.
 package federation
 
 import (
@@ -36,6 +48,7 @@ import (
 	"sort"
 	"time"
 
+	"lass/internal/allocation"
 	"lass/internal/core"
 	"lass/internal/dispatch"
 	"lass/internal/metrics"
@@ -89,6 +102,42 @@ func ParsePolicy(s string) (Policy, error) {
 // Policies returns all placement policies in sweep order.
 func Policies() []Policy { return []Policy{Never, CloudOnly, NearestPeer, ModelDriven} }
 
+// PeerSelection selects how a shedding site picks among candidate peers.
+type PeerSelection int
+
+const (
+	// NearestFirst scans peers in ascending-RTT order and takes the first
+	// with headroom — the historical behaviour, which overloads the
+	// closest peer under bursts.
+	NearestFirst PeerSelection = iota
+	// PowerOfTwoChoices samples two candidate peers and keeps the one
+	// with more controller headroom (ties to the nearer), probing no
+	// further: the classic load-spreading trade of a little extra RTT for
+	// much better balance.
+	PowerOfTwoChoices
+)
+
+// String returns the peer-selection name.
+func (p PeerSelection) String() string {
+	switch p {
+	case NearestFirst:
+		return "nearest"
+	case PowerOfTwoChoices:
+		return "p2c"
+	}
+	return fmt.Sprintf("peer-selection(%d)", int(p))
+}
+
+// ParsePeerSelection returns the peer selection named by s.
+func ParsePeerSelection(s string) (PeerSelection, error) {
+	for _, p := range []PeerSelection{NearestFirst, PowerOfTwoChoices} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("federation: unknown peer selection %q (nearest|p2c)", s)
+}
+
 // Config describes a federated deployment.
 type Config struct {
 	// Sites configures one core platform per edge site. Site i's cluster
@@ -136,8 +185,51 @@ type Config struct {
 	// OverloadQueueDepth is the per-container backlog beyond which an
 	// epoch-level overloaded site starts shedding (default 4).
 	OverloadQueueDepth int
-	// Seed drives the cloud backend's service-time sampling.
+	// Seed drives the cloud backend's service-time sampling (and, under
+	// PowerOfTwoChoices, the peer sampling).
 	Seed uint64
+
+	// GlobalFairShare lifts the §4.1 weighted fair-share allocator to the
+	// federation level: every AllocEpoch a coordinator gathers
+	// demand/weight from each site's controller, runs capped
+	// water-filling over the federation's *total* edge capacity
+	// (site → user → function), and pushes per-site capacity grants back
+	// down. Site controllers then enforce the grants instead of computing
+	// shares from local capacity, and demand is estimated from offered
+	// load at each ingress (offloaded requests count at their origin, not
+	// their host). Off by default: per-site-local allocation, bit-for-bit
+	// the historical behaviour.
+	GlobalFairShare bool
+	// AllocEpoch is the global allocator's period (default 5s, the
+	// controller evaluation interval).
+	AllocEpoch time.Duration
+	// Coordinator is the site index hosting the global allocator
+	// (default 0). Each epoch's grants reach site i only after the
+	// gather+push round trip rtt(i→coord)+rtt(coord→i) read from the
+	// Topology — coordination latency is charged, not assumed away.
+	Coordinator int
+	// SiteWeights optionally sets each site's weight at the root of the
+	// global allocation tree (entries ≤ 0 and missing entries mean 1).
+	SiteWeights []float64
+
+	// OffloadAwareAdmission couples §3.4 admission control to placement:
+	// a request that would be rejected at an overloaded origin is first
+	// offered along the placement policy's preferences — peers with
+	// headroom, then the cloud — and only rejected outright when no
+	// site's grant has headroom and the cloud's projected queueing delay
+	// already exceeds the response SLO. Under policy Never no placement
+	// is allowed, so sheddable requests are rejected at the origin (the
+	// paper's single-cluster admission control, verbatim). Off by default
+	// (requests queue at the origin as before).
+	OffloadAwareAdmission bool
+	// PeerSelection picks among candidate peers when shedding
+	// (default NearestFirst, the historical strict-RTT-order scan).
+	PeerSelection PeerSelection
+	// CloudMaxConcurrency caps simultaneously running cloud instances per
+	// function — the real FaaS throttle. At the cap, offloads queue FIFO
+	// for the next free instance and the queue wait counts toward
+	// response time. Zero means unbounded (the historical idealization).
+	CloudMaxConcurrency int
 }
 
 func (c *Config) fillDefaults() {
@@ -160,6 +252,9 @@ func (c *Config) fillDefaults() {
 	if c.OverloadQueueDepth == 0 {
 		c.OverloadQueueDepth = 4
 	}
+	if c.AllocEpoch == 0 {
+		c.AllocEpoch = 5 * time.Second
+	}
 }
 
 // Site is one edge deployment inside the federation.
@@ -177,18 +272,24 @@ type Site struct {
 	// ServedLocal counts ingress requests served on this site's own
 	// cluster; OffloadedPeer and OffloadedCloud count ingress requests
 	// placed elsewhere; PeerServed counts requests this site absorbed on
-	// behalf of overloaded peers.
+	// behalf of overloaded peers; Rejected counts ingress requests
+	// refused by offload-aware admission after every peer and the cloud
+	// declined (they remain SLO violations at this site).
 	ServedLocal    uint64
 	OffloadedPeer  uint64
 	OffloadedCloud uint64
 	PeerServed     uint64
+	Rejected       uint64
 
 	// CloudColdStarts counts this site's cloud offloads that paid a cold
 	// start; CloudTimedOut counts those killed by the function's hard
 	// execution limit (they never complete, so they stay violations);
-	// CloudCost is the accumulated cloud bill for this site's offloads.
+	// CloudQueued counts those that waited at the per-function
+	// concurrency cap; CloudCost is the accumulated cloud bill for this
+	// site's offloads.
 	CloudColdStarts uint64
 	CloudTimedOut   uint64
+	CloudQueued     uint64
 	CloudCost       float64
 
 	peers []*Site // other sites, ascending RTT, ties by index
@@ -201,8 +302,16 @@ type Federation struct {
 
 	cfg         Config
 	cloudRng    *xrand.Rand
+	peerRng     *xrand.Rand
 	cloudServed uint64
 	cloudPools  map[string]*cloudPool // per-function warm-instance pools
+
+	// Global fair-share state: the epoch-level waste/drift accumulators
+	// the sweep reports.
+	allocEpochs uint64
+	strandedSum float64
+	driftSum    float64
+	allocErr    error
 }
 
 // New assembles a federation: every site's platform is built on one shared
@@ -222,11 +331,20 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: topology is %d sites, config has %d",
 			cfg.Topology.Size(), len(cfg.Sites))
 	}
+	if cfg.Coordinator < 0 || cfg.Coordinator >= len(cfg.Sites) {
+		return nil, fmt.Errorf("federation: coordinator index %d out of range (have %d sites)",
+			cfg.Coordinator, len(cfg.Sites))
+	}
+	if len(cfg.SiteWeights) > len(cfg.Sites) {
+		return nil, fmt.Errorf("federation: %d site weights for %d sites",
+			len(cfg.SiteWeights), len(cfg.Sites))
+	}
 	engine := sim.NewEngine()
 	f := &Federation{
 		Engine:     engine,
 		cfg:        cfg,
 		cloudRng:   xrand.New(cfg.Seed ^ 0xfed0),
+		peerRng:    xrand.New(cfg.Seed ^ 0x9ee2),
 		cloudPools: make(map[string]*cloudPool),
 	}
 	for i, sc := range cfg.Sites {
@@ -284,8 +402,21 @@ func (f *Federation) peersByRTT(s *Site) []*Site {
 // wire installs the placement hook on one site queue.
 func (f *Federation) wire(s *Site, q *dispatch.Queue) {
 	q.Offload = func(r *dispatch.Request) bool {
-		target, toCloud := f.place(s, q)
+		target, toCloud, reject := f.place(s, q)
+		if f.cfg.GlobalFairShare && (reject || toCloud || target != nil) {
+			// Under the global allocator, demand is estimated from
+			// offered load at the ingress: the core platform records only
+			// locally-admitted arrivals, so the hook records the claimed
+			// ones here (and offloadToPeer skips the host-side record).
+			// This is what lets the coordinator see an overloaded site's
+			// full demand instead of just the share it kept.
+			s.Platform.Controller.RecordArrival(q.Spec().Name)
+		}
 		switch {
+		case reject:
+			s.Rejected++
+			q.Reject(r)
+			return true
 		case toCloud:
 			f.offloadToCloud(s, q, r)
 			return true
@@ -309,6 +440,10 @@ func (s *Site) observe(resp time.Duration) {
 // overloaded reports whether site s cannot absorb more work for fn right
 // now: nothing servable with work already waiting, or the controller's
 // capacity headroom is exhausted and the backlog exceeds the shed depth.
+// When an external allocator governs the site, the controller's
+// demand-derived headroom only reflects the site's own ingress — absorbed
+// peer work shows up as backlog instead — so the backlog signal alone
+// gates, letting spread-granted hosts exert backpressure.
 func (f *Federation) overloaded(s *Site, fn string) bool {
 	q := s.Platform.Queues[fn]
 	n := q.Containers()
@@ -318,20 +453,65 @@ func (f *Federation) overloaded(s *Site, fn string) bool {
 		// may ever drain.
 		return true
 	}
-	if !s.Platform.Controller.Overloaded() {
+	if !s.Platform.Controller.GrantedExternally() && !s.Platform.Controller.Overloaded() {
 		return false
 	}
 	return q.QueueLength() >= f.cfg.OverloadQueueDepth*n
 }
 
 // accepts reports whether peer p can take offloaded fn work: it serves the
-// function, is not itself overloaded, and its controller reports spare
-// capacity.
+// function, is not itself overloaded, and either its controller reports
+// spare capacity or — under the global allocator — its fn pool holds
+// pre-provisioned (spread-granted) capacity sitting idle. The idle
+// -container check is the observable, per-function form of "this site's
+// grant has headroom": a site saturated by its own demand whose grant was
+// cut below capacity has busy pools and refuses, while a spread host with
+// warm capacity for exactly this function accepts.
 func (f *Federation) accepts(p *Site, fn string) bool {
-	if _, ok := p.Platform.Queues[fn]; !ok {
+	q, ok := p.Platform.Queues[fn]
+	if !ok {
 		return false
 	}
-	return !f.overloaded(p, fn) && p.Platform.Controller.Headroom() > 0
+	if f.overloaded(p, fn) {
+		return false
+	}
+	if p.Platform.Controller.Headroom() > 0 {
+		return true
+	}
+	return f.cfg.GlobalFairShare && q.IdleContainers() > 0
+}
+
+// selectPeer picks the peer that should absorb shed fn work from site s,
+// or nil when none accepts. NearestFirst scans peers in ascending-RTT
+// order; PowerOfTwoChoices samples two distinct candidates and keeps the
+// one with more controller headroom (ties to the nearer), falling back to
+// the other — and to nobody — rather than probing the whole federation.
+func (f *Federation) selectPeer(s *Site, fn string) *Site {
+	if f.cfg.PeerSelection == PowerOfTwoChoices && len(s.peers) > 1 {
+		i := f.peerRng.Intn(len(s.peers))
+		j := f.peerRng.Intn(len(s.peers) - 1)
+		if j >= i {
+			j++
+		}
+		a, b := s.peers[i], s.peers[j]
+		if b.Platform.Controller.Headroom() > a.Platform.Controller.Headroom() ||
+			(b.Platform.Controller.Headroom() == a.Platform.Controller.Headroom() && j < i) {
+			a, b = b, a
+		}
+		if f.accepts(a, fn) {
+			return a
+		}
+		if f.accepts(b, fn) {
+			return b
+		}
+		return nil
+	}
+	for _, p := range s.peers {
+		if f.accepts(p, fn) {
+			return p
+		}
+	}
+	return nil
 }
 
 // predictResponse estimates the end-to-end response time (seconds) of
@@ -357,30 +537,75 @@ func (f *Federation) predictResponse(s *Site, fn string, extraRTT time.Duration)
 }
 
 // place decides where an ingress request at site s should be served:
-// locally (nil, false), at a peer (peer, false), or in the cloud
-// (nil, true).
-func (f *Federation) place(s *Site, q *dispatch.Queue) (*Site, bool) {
+// locally (nil, false, false), at a peer (peer, false, false), in the
+// cloud (nil, true, false), or nowhere (nil, false, true — admission
+// rejected it).
+func (f *Federation) place(s *Site, q *dispatch.Queue) (target *Site, toCloud, reject bool) {
 	fn := q.Spec().Name
+	if f.cfg.OffloadAwareAdmission && f.overloaded(s, fn) {
+		// §3.4 admission coupled to placement: a sheddable request — one
+		// the origin would reject — is first offered along the policy's
+		// placement preferences, and rejected only when no site's grant
+		// has headroom and the cloud is throttled past the SLO.
+		switch f.cfg.Policy {
+		case Never:
+			// No placement allowed: §3.4 verbatim, reject at the origin.
+			return nil, false, true
+		case CloudOnly:
+			if f.cloudAdmits(q) {
+				return nil, true, false
+			}
+			return nil, false, true
+		case NearestPeer:
+			if p := f.selectPeer(s, fn); p != nil {
+				return p, false, false
+			}
+			if f.cloudAdmits(q) {
+				return nil, true, false
+			}
+			return nil, false, true
+		case ModelDriven:
+			// Best predicted alternative (peers by backlog+RTT, cloud);
+			// reject when even the best prediction misses the SLO.
+			deadline := f.cfg.ResponseSLO.Seconds()
+			var best *Site
+			bestResp := math.Inf(1)
+			for _, p := range s.peers {
+				legs := f.rtt(s.Index, p.Index) + f.rtt(p.Index, s.Index)
+				if resp := f.predictResponse(p, fn, legs); resp < bestResp {
+					best, bestResp = p, resp
+				}
+			}
+			if cloud := f.predictCloud(q); cloud < bestResp {
+				if cloud <= deadline && f.cloudAdmits(q) {
+					return nil, true, false
+				}
+				return nil, false, true
+			}
+			if bestResp <= deadline {
+				return best, false, false
+			}
+			return nil, false, true
+		}
+	}
 	switch f.cfg.Policy {
 	case CloudOnly:
 		if f.overloaded(s, fn) {
-			return nil, true
+			return nil, true, false
 		}
 	case NearestPeer:
 		if !f.overloaded(s, fn) {
-			return nil, false
+			return nil, false, false
 		}
-		for _, p := range s.peers {
-			if f.accepts(p, fn) {
-				return p, false
-			}
+		if p := f.selectPeer(s, fn); p != nil {
+			return p, false, false
 		}
-		return nil, true
+		return nil, true, false
 	case ModelDriven:
 		deadline := f.cfg.ResponseSLO.Seconds()
 		local := f.predictResponse(s, fn, 0)
 		if local <= deadline {
-			return nil, false
+			return nil, false, false
 		}
 		// Predicted SLO miss: pick the fastest alternative, local
 		// included — offloading must actually help. Peer predictions pay
@@ -395,11 +620,11 @@ func (f *Federation) place(s *Site, q *dispatch.Queue) (*Site, bool) {
 			}
 		}
 		if f.predictCloud(q) < bestResp {
-			return nil, true
+			return nil, true, false
 		}
-		return best, false
+		return best, false, false
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // offloadToPeer ships the request to the target site: it arrives there one
@@ -413,7 +638,12 @@ func (f *Federation) offloadToPeer(origin, target *Site, fn string, r *dispatch.
 	arrival := r.Arrival
 	f.Engine.After(out, func() {
 		target.PeerServed++
-		target.Platform.Controller.RecordArrival(fn)
+		if !f.cfg.GlobalFairShare {
+			// Locally-allocating hosts must provision for absorbed work;
+			// under the global allocator the demand was already recorded
+			// at the origin and capacity arrives via the grant.
+			target.Platform.Controller.RecordArrival(fn)
+		}
 		pr := target.Platform.Queues[fn].ArriveOffloaded()
 		pr.Done = func(pr *dispatch.Request) {
 			origin.observe(pr.Finish - arrival + back)
@@ -423,27 +653,53 @@ func (f *Federation) offloadToPeer(origin, target *Site, fn string, r *dispatch.
 
 // predictCloud estimates the end-to-end response time (seconds) of serving
 // one request in the cloud right now: both network legs, the mean standard
-// service time, and — unless the cloud is configured always-warm — the
-// cold start the request would pay if no idle warm instance will greet it.
+// service time, the queueing delay a capped pool would impose, and —
+// unless the cloud is configured always-warm — the cold start the request
+// would pay if no idle warm instance will greet it.
 func (f *Federation) predictCloud(q *dispatch.Queue) float64 {
 	spec := q.Spec()
 	resp := 2*f.cfg.CloudRTT + spec.MeanServiceTimeAt(1.0)
-	if !f.cfg.CloudAlwaysWarm {
-		pool := f.cloudPools[spec.Name]
-		if pool == nil || !pool.hasWarm(f.Engine.Now()+f.cfg.CloudRTT) {
-			resp += spec.ColdStart
-		}
+	pool := f.cloudPools[spec.Name]
+	at := f.Engine.Now() + f.cfg.CloudRTT
+	var wait time.Duration
+	if pool != nil {
+		wait = pool.predictWait(at, f.cfg.CloudMaxConcurrency)
+	}
+	if wait > 0 {
+		// Queueing at the cap ends in a warm FIFO hand-off, never a cold
+		// start — charge one or the other, not both.
+		resp += wait
+	} else if !f.cfg.CloudAlwaysWarm && (pool == nil || !pool.hasWarm(at)) {
+		resp += spec.ColdStart
 	}
 	return resp.Seconds()
 }
 
+// cloudAdmits reports whether the cloud still has headroom for one more fn
+// request: always when uncapped, otherwise only while the projected
+// at-the-cap queueing delay stays within the response SLO — beyond that a
+// cloud landing is already a guaranteed violation, so admission rejects
+// instead.
+func (f *Federation) cloudAdmits(q *dispatch.Queue) bool {
+	if f.cfg.CloudMaxConcurrency <= 0 {
+		return true
+	}
+	pool := f.cloudPools[q.Spec().Name]
+	if pool == nil {
+		return true
+	}
+	return pool.predictWait(f.Engine.Now()+f.cfg.CloudRTT, f.cfg.CloudMaxConcurrency) <= f.cfg.ResponseSLO
+}
+
 // offloadToCloud serves the request on the cloud backend: it reaches the
 // cloud one RTT later, reuses an idle warm instance when one exists
-// (otherwise paying the function's cold start), executes a sampled
-// standard-size service time capped by the function's hard execution
-// limit, and accrues the invocation's cost at the origin site. A request
-// killed by the limit never completes: it is counted in CloudTimedOut and
-// remains an SLO violation at the origin (via the unresolved accounting).
+// (otherwise paying the function's cold start — or, at the per-function
+// concurrency cap, queueing FIFO for the next free instance, with the
+// wait counted toward response time), executes a sampled standard-size
+// service time capped by the function's hard execution limit, and accrues
+// the invocation's cost at the origin site. A request killed by the limit
+// never completes: it is counted in CloudTimedOut and remains an SLO
+// violation at the origin (via the unresolved accounting).
 func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch.Request) {
 	spec := q.Spec()
 	origin.OffloadedCloud++
@@ -455,16 +711,24 @@ func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch
 		run = tl
 		killed = true
 	}
-	var cold time.Duration
-	if !f.cfg.CloudAlwaysWarm {
+	var wait, cold time.Duration
+	if !f.cfg.CloudAlwaysWarm || f.cfg.CloudMaxConcurrency > 0 {
 		pool := f.cloudPools[spec.Name]
 		if pool == nil {
 			pool = &cloudPool{}
 			f.cloudPools[spec.Name] = pool
 		}
-		cold = pool.acquire(f.Engine.Now()+f.cfg.CloudRTT, run, spec.ColdStart, f.cfg.CloudWarmWindow)
+		coldStart := spec.ColdStart
+		if f.cfg.CloudAlwaysWarm {
+			coldStart = 0 // capped but idealized: slots are limited, starts are free
+		}
+		wait, cold = pool.acquire(f.Engine.Now()+f.cfg.CloudRTT, run,
+			coldStart, f.cfg.CloudWarmWindow, f.cfg.CloudMaxConcurrency)
 		if cold > 0 {
 			origin.CloudColdStarts++
+		}
+		if wait > 0 {
+			origin.CloudQueued++
 		}
 	}
 	origin.CloudCost += f.cfg.CloudPricePerInvocation +
@@ -474,9 +738,62 @@ func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch
 		return
 	}
 	arrival := r.Arrival
-	f.Engine.After(2*f.cfg.CloudRTT+cold+service, func() {
+	f.Engine.After(2*f.cfg.CloudRTT+wait+cold+service, func() {
 		origin.observe(f.Engine.Now() - arrival)
 	})
+}
+
+// allocEpoch runs one federation-wide fair-share epoch at the
+// coordinator: gather every site's demand report, divide the federation's
+// total edge capacity (site → user → function, §4.1 capped water-filling),
+// and push each site's grants back down after the gather+push round trip
+// to that site. Epoch-level stranded-capacity and allocation-drift
+// measurements accumulate for the sweep tables.
+func (f *Federation) allocEpoch() {
+	if f.allocErr != nil {
+		return
+	}
+	sites := make([]allocation.SiteDemand, len(f.Sites))
+	for i, s := range f.Sites {
+		var w float64 = 1
+		if i < len(f.cfg.SiteWeights) && f.cfg.SiteWeights[i] > 0 {
+			w = f.cfg.SiteWeights[i]
+		}
+		ds := s.Platform.Controller.Demands()
+		fns := make([]allocation.FunctionDemand, len(ds))
+		for j, d := range ds {
+			fns[j] = allocation.FunctionDemand{
+				Name:       d.Name,
+				User:       d.User,
+				Weight:     d.Weight,
+				UserWeight: d.UserWeight,
+				DesiredCPU: d.DesiredCPU,
+			}
+		}
+		sites[i] = allocation.SiteDemand{
+			Site:        s.Name,
+			Weight:      w,
+			CapacityCPU: s.Platform.Controller.Capacity(),
+			Functions:   fns,
+		}
+	}
+	res, err := allocation.Allocate(sites, true)
+	if err != nil {
+		f.allocErr = err
+		return
+	}
+	f.allocEpochs++
+	f.strandedSum += float64(res.StrandedCPU)
+	f.driftSum += float64(res.DriftCPU)
+	coord := f.cfg.Coordinator
+	for i, s := range f.Sites {
+		grants := res.SiteGrants(s.Name)
+		delay := f.rtt(i, coord) + f.rtt(coord, i)
+		ctl := s.Platform.Controller
+		f.Engine.After(delay, func() {
+			ctl.SetCapacityGrants(grants)
+		})
+	}
 }
 
 // SiteResult is one site's view of a federated run.
@@ -494,12 +811,15 @@ type SiteResult struct {
 	OffloadedPeer  uint64
 	OffloadedCloud uint64
 	PeerServed     uint64
+	Rejected       uint64
 
-	// CloudColdStarts, CloudTimedOut, and CloudCost mirror the Site
-	// counters: cold starts paid, hard-limit kills, and accumulated cloud
-	// bill for this site's offloads.
+	// CloudColdStarts, CloudTimedOut, CloudQueued, and CloudCost mirror
+	// the Site counters: cold starts paid, hard-limit kills, waits at the
+	// concurrency cap, and accumulated cloud bill for this site's
+	// offloads.
 	CloudColdStarts uint64
 	CloudTimedOut   uint64
+	CloudQueued     uint64
 	CloudCost       float64
 
 	// Unresolved counts ingress requests that never completed before the
@@ -534,11 +854,22 @@ type Result struct {
 	Duration    time.Duration
 	Sites       []SiteResult
 	CloudServed uint64
-	// CloudColdStarts, CloudTimedOut, and CloudCost aggregate the
-	// per-site cloud realism counters across the federation.
+	// CloudColdStarts, CloudTimedOut, CloudQueued, and CloudCost
+	// aggregate the per-site cloud realism counters across the
+	// federation; Rejected aggregates admission rejections.
 	CloudColdStarts uint64
 	CloudTimedOut   uint64
+	CloudQueued     uint64
 	CloudCost       float64
+	Rejected        uint64
+	// GlobalFairShare reports whether the run used the federation-wide
+	// allocator; AllocEpochs counts its epochs, and MeanStrandedCPU /
+	// MeanAllocDriftCPU are the per-epoch means of the allocator's
+	// stranded-capacity and cross-site drift measurements (millicores).
+	GlobalFairShare   bool
+	AllocEpochs       uint64
+	MeanStrandedCPU   float64
+	MeanAllocDriftCPU float64
 }
 
 // Run drives all sites on the shared engine for the given simulated
@@ -547,8 +878,22 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 	for _, s := range f.Sites {
 		s.Platform.Start()
 	}
+	if f.cfg.GlobalFairShare {
+		// Scheduled after the platforms so that, on shared epoch
+		// timestamps, every controller's demand estimate is fresh before
+		// the coordinator reads it.
+		f.Engine.Every(f.cfg.AllocEpoch, f.allocEpoch)
+	}
 	f.Engine.RunUntil(duration)
-	res := &Result{Policy: f.cfg.Policy, Duration: duration, CloudServed: f.cloudServed}
+	if f.allocErr != nil {
+		return nil, fmt.Errorf("federation: global allocator: %w", f.allocErr)
+	}
+	res := &Result{Policy: f.cfg.Policy, Duration: duration, CloudServed: f.cloudServed,
+		GlobalFairShare: f.cfg.GlobalFairShare, AllocEpochs: f.allocEpochs}
+	if f.allocEpochs > 0 {
+		res.MeanStrandedCPU = f.strandedSum / float64(f.allocEpochs)
+		res.MeanAllocDriftCPU = f.driftSum / float64(f.allocEpochs)
+	}
 	for _, s := range f.Sites {
 		cr, err := s.Platform.Collect(duration)
 		if err != nil {
@@ -571,14 +916,18 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 			OffloadedPeer:   s.OffloadedPeer,
 			OffloadedCloud:  s.OffloadedCloud,
 			PeerServed:      s.PeerServed,
+			Rejected:        s.Rejected,
 			CloudColdStarts: s.CloudColdStarts,
 			CloudTimedOut:   s.CloudTimedOut,
+			CloudQueued:     s.CloudQueued,
 			CloudCost:       s.CloudCost,
 			Unresolved:      unresolved,
 		})
 		res.CloudColdStarts += s.CloudColdStarts
 		res.CloudTimedOut += s.CloudTimedOut
+		res.CloudQueued += s.CloudQueued
 		res.CloudCost += s.CloudCost
+		res.Rejected += s.Rejected
 	}
 	return res, nil
 }

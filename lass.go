@@ -38,6 +38,7 @@ package lass
 import (
 	"time"
 
+	"lass/internal/allocation"
 	"lass/internal/cluster"
 	"lass/internal/controller"
 	"lass/internal/core"
@@ -192,6 +193,56 @@ func NewFederation(cfg FederationConfig) (*Federation, error) {
 func ParseOffloadPolicy(s string) (OffloadPolicy, error) {
 	return federation.ParsePolicy(s)
 }
+
+// PeerSelection selects how a shedding site picks among candidate peers.
+type PeerSelection = federation.PeerSelection
+
+// Peer selections.
+const (
+	// PeerNearestFirst scans peers in ascending-RTT order (the
+	// historical behaviour).
+	PeerNearestFirst = federation.NearestFirst
+	// PeerPowerOfTwoChoices samples two candidates and keeps the one
+	// with more controller headroom.
+	PeerPowerOfTwoChoices = federation.PowerOfTwoChoices
+)
+
+// ParsePeerSelection returns the peer selection named by s
+// ("nearest", "p2c").
+func ParsePeerSelection(s string) (PeerSelection, error) {
+	return federation.ParsePeerSelection(s)
+}
+
+// GlobalSiteDemand is one edge site's demand report to the federation-wide
+// fair-share allocator: its capacity, root-level weight, and per-function
+// demands.
+type GlobalSiteDemand = allocation.SiteDemand
+
+// GlobalFunctionDemand is one function's demand at one site.
+type GlobalFunctionDemand = allocation.FunctionDemand
+
+// GlobalAllocation is one federation-wide allocation epoch's outcome:
+// per-(site, function) entitlements and enforceable grants plus the
+// stranded-capacity and cross-site drift measurements.
+type GlobalAllocation = allocation.Result
+
+// GlobalGrant is the allocator's decision for one function at one site.
+type GlobalGrant = allocation.Grant
+
+// GlobalAllocate runs one federation-wide §4.1 fair-share epoch: capped
+// water-filling over the sites' total edge capacity on the
+// site → user → function tree, clamped to each site's physical capacity,
+// with displaced entitlement spread to sites that still have idle
+// capacity. NewFederation runs this automatically every allocation epoch
+// when FederationConfig.GlobalFairShare is set; the direct form serves
+// custom schedulers and analysis.
+func GlobalAllocate(sites []GlobalSiteDemand) (*GlobalAllocation, error) {
+	return allocation.Allocate(sites, true)
+}
+
+// ControllerDemand is one function's demand estimate as a site controller
+// reports it to an external allocator (Controller.Demands).
+type ControllerDemand = controller.FunctionDemand
 
 // RequiredContainers runs the paper's Algorithm 1: the number of
 // containers needed to serve arrival rate lambda with per-container

@@ -3,6 +3,7 @@ package lass_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 
 	"lass/internal/cluster"
 	"lass/internal/controller"
+	"lass/internal/experiments"
 )
 
 func TestPublicAPISimulation(t *testing.T) {
@@ -138,4 +140,65 @@ func ExampleRequiredContainers() {
 	c, _ := lass.RequiredContainers(30, 10, slo)
 	fmt.Println(c)
 	// Output: 5
+}
+
+// TestPublicAPIGlobalAllocation exercises the federation-wide fair-share
+// surface: the direct allocator call and the federation config knobs.
+func TestPublicAPIGlobalAllocation(t *testing.T) {
+	res, err := lass.GlobalAllocate([]lass.GlobalSiteDemand{
+		{Site: "hot", CapacityCPU: 2000, Functions: []lass.GlobalFunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 5000},
+		}},
+		{Site: "cold", CapacityCPU: 4000, Functions: []lass.GlobalFunctionDemand{
+			{Name: "f", Weight: 1, DesiredCPU: 500},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hotGrant, coldGrant int64
+	for _, g := range res.Grants {
+		switch g.Site {
+		case "hot":
+			hotGrant = g.GrantedCPU
+		case "cold":
+			coldGrant = g.GrantedCPU
+		}
+	}
+	if hotGrant != 2000 {
+		t.Errorf("hot granted %d want its full 2000 capacity", hotGrant)
+	}
+	if coldGrant <= 500 {
+		t.Errorf("cold granted %d want > its 500 desire (spread)", coldGrant)
+	}
+	if _, err := lass.ParsePeerSelection("p2c"); err != nil {
+		t.Error(err)
+	}
+	if lass.PeerNearestFirst.String() != "nearest" || lass.PeerPowerOfTwoChoices.String() != "p2c" {
+		t.Error("peer selection constants misnamed")
+	}
+}
+
+// TestFederationBaselineColumns guards the committed BENCH_federation.json
+// against silently going stale: it must carry every column the federation
+// sweep produces (regenerate with
+// go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json).
+// BenchmarkFederationSweep asserts the same invariant for the CI bench
+// smoke step, which runs no plain tests.
+func TestFederationBaselineColumns(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_federation.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := experiments.Run("federation", experiments.Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, err := experiments.MissingBaselineColumns(raw, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range missing {
+		t.Errorf("BENCH_federation.json baseline missing column %q — regenerate it", h)
+	}
 }
