@@ -21,6 +21,7 @@ import (
 	"lass/internal/dispatch"
 	"lass/internal/experiments"
 	"lass/internal/fairshare"
+	"lass/internal/federation"
 	"lass/internal/functions"
 	"lass/internal/queuing"
 	"lass/internal/sim"
@@ -97,9 +98,10 @@ func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
 
 // checkBaselineColumns fails the bench (and so the CI bench smoke step,
 // which runs no plain tests) when the committed BENCH_federation.json
-// baseline is missing columns the sweep now produces — a stale baseline
-// used to pass silently. TestFederationBaselineColumns guards the same
-// invariant for plain `go test` runs.
+// baseline is missing columns the sweep now produces, or an aggregate row
+// for a registered built-in placement policy — a stale baseline used to
+// pass silently. TestFederationBaselineColumns guards the same invariants
+// for plain `go test` runs.
 func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	b.Helper()
 	raw, err := os.ReadFile("BENCH_federation.json")
@@ -114,6 +116,14 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	if len(missing) > 0 {
 		b.Fatalf("BENCH_federation.json baseline is missing columns %v; regenerate with "+
 			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json", missing)
+	}
+	stale, err := experiments.MissingBaselinePolicies(raw, federation.BuiltinPlacerNames)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(stale) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing policies %v; regenerate with "+
+			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json", stale)
 	}
 }
 
@@ -137,6 +147,26 @@ func BenchmarkFederationSweep(b *testing.B) {
 // BenchmarkFederationTrace runs the trace-driven sweep.
 func BenchmarkFederationTrace(b *testing.B) {
 	runExperiment(b, "federation-trace")
+}
+
+// BenchmarkFederationPlacers runs the all-registered-placers sweep on the
+// skewed traces (global fair share + admission + throttled cloud) and
+// reports how much the grant-aware policy cuts the plain model-driven
+// violation rate — the Placer API's headline number.
+func BenchmarkFederationPlacers(b *testing.B) {
+	tab := runExperiment(b, "federation-placers")
+	rate := func(policy string) (float64, error) {
+		row, err := experiments.PlacerAggregate(tab, policy)
+		if err != nil {
+			return 0, err
+		}
+		return strconv.ParseFloat(row[len(row)-1], 64)
+	}
+	model, err1 := rate("model-driven")
+	grant, err2 := rate("grant-aware")
+	if err1 == nil && err2 == nil && model > 0 {
+		b.ReportMetric((model-grant)/model, "grant-aware-violation-cut-frac")
+	}
 }
 
 // BenchmarkFederationFairShare runs the local-vs-global allocation sweep

@@ -12,24 +12,31 @@
 //	lass-sim -federation -fed-trace -topology star         # trace-driven, star topology
 //	lass-sim -federation -global-fairshare -admission      # federation-wide §4.1 allocator
 //	lass-sim -federation -fed-fairshare                    # local-vs-global allocation sweep
+//	lass-sim -federation -fed-placers                      # every registered placement policy
+//	lass-sim -federation -policy grant-aware               # one placement policy only
 //	lass-sim -federation -quick -json BENCH_federation.json
 //
 // With -federation the command runs the multi-cluster edge–cloud offload
 // experiment instead: three edge sites plus a cloud backend with warm-pool
-// cold starts and per-invocation pricing, sweeping the never / cloud-only
-// / nearest-peer / model-driven placement policies, and writes the
-// comparison (per-policy SLO-violation rates, cloud cold starts and cost)
-// as CSV and optionally JSON. -fed-trace drives each site from its own
-// Azure-format trace row (synthesized deterministically, or row i of the
-// -trace CSV); -fed-fairshare sweeps per-site-local versus federation-wide
-// (global) fair-share allocation on a skewed-load scenario instead;
+// cold starts and per-invocation pricing, sweeping every placement policy
+// in the placer registry (never / cloud-only / nearest-peer / model-driven
+// / grant-aware / cost-bounded, plus custom lass.RegisterPlacer policies),
+// and writes the comparison (per-policy SLO-violation rates, cloud cold
+// starts and cost) as CSV and optionally JSON. -policy restricts the sweep
+// to one registered placement policy. -fed-trace drives each site from its
+// own Azure-format trace row (synthesized deterministically, or row i of
+// the -trace CSV); -fed-fairshare sweeps per-site-local versus
+// federation-wide (global) fair-share allocation on a skewed-load scenario
+// instead; -fed-placers sweeps every registered policy on the skewed
+// traces with global fair share, admission, and a throttled cloud all on;
 // -global-fairshare / -alloc-epoch run any sweep under the global
 // allocator; -admission turns on offload-aware §3.4 admission control;
-// -peer-select picks nearest-first or power-of-two-choices shedding;
-// -cloud-max-concurrency caps concurrent cloud instances per function
-// (FIFO queueing at the cap); -topology selects the inter-site latency
-// model (ring|star); the -cloud-* flags tune the cloud's warm window and
-// price points.
+// -offered-load keeps origins estimating demand from offered load under
+// per-site-local allocation; -peer-select picks nearest-first or
+// power-of-two-choices shedding; -cloud-max-concurrency caps concurrent
+// cloud instances per function (FIFO queueing at the cap); -topology
+// selects the inter-site latency model (ring|star); the -cloud-* flags
+// tune the cloud's warm window and price points.
 package main
 
 import (
@@ -45,26 +52,31 @@ import (
 	"lass/internal/controller"
 	"lass/internal/core"
 	"lass/internal/experiments"
+	"lass/internal/federation"
 	"lass/internal/functions"
 	"lass/internal/workload"
 )
 
 func main() {
 	var (
-		fnsFlag    = flag.String("functions", "squeezenet:40", "comma-separated name:rate pairs (req/s)")
-		duration   = flag.Duration("duration", 10*time.Minute, "simulated duration")
-		nodes      = flag.Int("nodes", 3, "cluster nodes")
-		cpu        = flag.Int64("cpu", 4000, "millicores per node")
-		mem        = flag.Int64("mem", 16384, "MiB per node")
-		policy     = flag.String("policy", "deflation", "reclamation policy: deflation|termination")
+		fnsFlag  = flag.String("functions", "squeezenet:40", "comma-separated name:rate pairs (req/s)")
+		duration = flag.Duration("duration", 10*time.Minute, "simulated duration")
+		nodes    = flag.Int("nodes", 3, "cluster nodes")
+		cpu      = flag.Int64("cpu", 4000, "millicores per node")
+		mem      = flag.Int64("mem", 16384, "MiB per node")
+		policy   = flag.String("policy", "deflation",
+			fmt.Sprintf("reclamation policy (deflation|termination); with -federation: run only the named placement policy (%s, or any placer registered via lass.RegisterPlacer)",
+				strings.Join(federation.BuiltinPlacerNames, "|")))
 		seed       = flag.Uint64("seed", 1, "random seed")
 		trace      = flag.String("trace", "", "optional Azure-schema CSV; row i drives function i (ad-hoc mode) or site i (-fed-trace)")
 		fed        = flag.Bool("federation", false, "run the edge-cloud federation offload-policy sweep")
 		fedTrace   = flag.Bool("fed-trace", false, "with -federation: drive each site from its own Azure-format trace row")
 		fedFair    = flag.Bool("fed-fairshare", false, "with -federation: sweep local vs global allocation on the skewed-load scenario instead")
+		fedPlace   = flag.Bool("fed-placers", false, "with -federation: sweep every registered placement policy on the skewed-trace scenario (global fair share + admission + throttled cloud)")
 		globalFS   = flag.Bool("global-fairshare", false, "with -federation: run the sweep under the federation-wide fair-share allocator")
 		allocEpoch = flag.Duration("alloc-epoch", 0, "with -federation -global-fairshare: global allocation epoch (0 = default 5s)")
 		admission  = flag.Bool("admission", false, "with -federation: offload-aware §3.4 admission control (reject only when no site's grant has headroom)")
+		offered    = flag.Bool("offered-load", false, "with -federation: estimate demand from offered load at every ingress (ControllerConfig.OfferedLoadDemand) even under per-site-local allocation")
 		peerSel    = flag.String("peer-select", "nearest", "with -federation: shed-target peer selection (nearest|p2c)")
 		cloudConc  = flag.Int("cloud-max-concurrency", 0, "with -federation: per-function cloud concurrency cap, FIFO queueing at the cap (0 = unbounded)")
 		topology   = flag.String("topology", "ring", "with -federation: inter-site latency topology (ring|star)")
@@ -80,42 +92,65 @@ func main() {
 
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
-	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "topology": true,
+	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "fed-placers": true,
+		"topology":   true,
 		"cloud-warm": true, "cloud-always-warm": true, "cloud-price-invocation": true,
 		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
-		"admission": true, "peer-select": true, "cloud-max-concurrency": true,
-		"out": true, "json": true, "quick": true}
+		"admission": true, "offered-load": true, "peer-select": true,
+		"cloud-max-concurrency": true,
+		"out":                   true, "json": true, "quick": true}
 
 	if *fed {
 		// The sweep's edge scenario is fixed; flags for the ad-hoc mode
-		// would be silently meaningless, so call them out.
-		fedFlags := map[string]bool{"federation": true, "seed": true}
+		// would be silently meaningless, so call them out. -policy is
+		// shared: it selects the placement policy here, the reclamation
+		// policy in ad-hoc mode.
+		fedFlags := map[string]bool{"federation": true, "seed": true, "policy": true}
 		for name := range fedOnly {
 			fedFlags[name] = true
 		}
 		if *fedTrace {
 			fedFlags["trace"] = true
 		}
+		fedPolicy := ""
 		flag.Visit(func(fl *flag.Flag) {
+			if fl.Name == "policy" {
+				fedPolicy = *policy
+			}
 			if !fedFlags[fl.Name] {
 				fmt.Fprintf(os.Stderr, "lass-sim: -%s is ignored in -federation mode (fixed 3-site edge scenario)\n", fl.Name)
 			}
 		})
+		if fedPolicy != "" {
+			// Fail fast on typos; the experiments resolve the name again.
+			if _, err := federation.ParsePlacer(fedPolicy); err != nil {
+				fail(err)
+			}
+		}
 		id := "federation"
 		tracePath := ""
+		modes := 0
+		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace} {
+			if m {
+				modes++
+			}
+		}
 		switch {
-		case *fedFair && *fedTrace:
-			fail(fmt.Errorf("-fed-trace and -fed-fairshare are mutually exclusive"))
+		case modes > 1:
+			fail(fmt.Errorf("-fed-trace, -fed-fairshare and -fed-placers are mutually exclusive"))
 		case *fedTrace:
 			id = "federation-trace"
 			tracePath = *trace
 		case *fedFair:
 			id = "federation-fairshare"
+		case *fedPlace:
+			id = "federation-placers"
 		}
 		runFederation(id, experiments.Options{
 			Seed:  *seed,
 			Quick: *quickSweep,
 			Fed: experiments.FedOptions{
+				Policy:                  fedPolicy,
 				Topology:                *topology,
 				TracePath:               tracePath,
 				CloudWarmWindow:         *cloudWarm,
@@ -125,6 +160,7 @@ func main() {
 				GlobalFairShare:         *globalFS,
 				AllocEpoch:              *allocEpoch,
 				Admission:               *admission,
+				OfferedLoad:             *offered,
 				PeerSelection:           *peerSel,
 				CloudMaxConcurrency:     *cloudConc,
 			},

@@ -1,11 +1,14 @@
 // Edge–cloud federation with dynamic offload. Three small edge sites run
 // SqueezeNet behind the LaSS controller on a star topology (edge-0 is the
 // hub); the middle of the run slams site edge-0 with three times its
-// capacity. The example runs the same scenario under every offload policy
-// — never (single-cluster baseline), cloud-only, nearest-peer, and
-// model-driven — and prints where each site's requests were served, the
-// cloud cold starts and dollars each policy paid, and the end-to-end SLO
-// violation rate, network RTT included.
+// capacity. The example runs the same scenario under every registered
+// placement policy — the never single-cluster baseline, cloud-only,
+// nearest-peer, model-driven, grant-aware, and cost-bounded, each resolved
+// by name from the placer registry — and prints where each site's
+// requests were served, the cloud cold starts and dollars each policy
+// paid, and the end-to-end SLO violation rate, network RTT included.
+// Registering a custom lass.Placer before the loop would add it to the
+// comparison automatically.
 package main
 
 import (
@@ -50,12 +53,13 @@ func sites() ([]lass.SimulationConfig, error) {
 }
 
 func main() {
-	policies := []lass.OffloadPolicy{
-		lass.OffloadNever, lass.OffloadCloudOnly, lass.OffloadNearestPeer, lass.OffloadModelDriven,
-	}
 	fmt.Printf("%-14s %-8s %8s %8s %8s %9s %6s %10s %11s\n",
 		"policy", "site", "local", "to-peer", "to-cloud", "peer-in", "cold", "cost-$", "violations")
-	for _, pol := range policies {
+	for _, name := range lass.PlacerNames() {
+		placer, err := lass.PlacerByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		cfgs, err := sites()
 		if err != nil {
 			log.Fatal(err)
@@ -68,7 +72,7 @@ func main() {
 		}
 		fed, err := lass.NewFederation(lass.FederationConfig{
 			Sites:    cfgs,
-			Policy:   pol,
+			Placer:   placer,
 			Topology: topo,
 			Seed:     1,
 		})
@@ -83,7 +87,7 @@ func main() {
 			// ViolationRate counts requests still backlogged at run end as
 			// misses, so the never policy's stranded burst isn't flattered.
 			fmt.Printf("%-14s %-8s %8d %8d %8d %9d %6d %10.6f %10.1f%%\n",
-				pol, s.Name, s.ServedLocal, s.OffloadedPeer, s.OffloadedCloud,
+				res.Placer, s.Name, s.ServedLocal, s.OffloadedPeer, s.OffloadedCloud,
 				s.PeerServed, s.CloudColdStarts, s.CloudCost, 100*s.ViolationRate())
 		}
 	}

@@ -17,10 +17,13 @@
 //     capacity, fair-sharing any shortfall with the same weights.
 //  3. Spreading: entitlement displaced by the physical clamp is offered to
 //     other sites that serve the same function and still have idle
-//     capacity. Those grants let peer sites pre-provision containers for
-//     offloaded work before it arrives — capacity that per-site-local
-//     allocation leaves stranded under skewed load (cf. Das et al.,
-//     dynamic edge–cloud task placement).
+//     capacity. Functions competing for the same spread pool are
+//     arbitrated by a second weight-proportional water-filling (not name
+//     order), and each function's share lands on its candidate hosts in
+//     proportion to their spare. Those grants let peer sites pre-provision
+//     containers for offloaded work before it arrives — capacity that
+//     per-site-local allocation leaves stranded under skewed load (cf.
+//     Das et al., dynamic edge–cloud task placement).
 //
 // The result also quantifies what global allocation bought: StrandedCPU is
 // capacity still idle while demand elsewhere stays unmet (zero when the
@@ -236,9 +239,21 @@ func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	// granted at other sites that serve the same function and have idle
 	// capacity — proportionally to their spare, so one nearby peer is not
 	// packed solid while others idle — letting those sites pre-provision
-	// for the offloads that will follow.
-	overflow := make(map[string]int64)
-	var fnNames []string
+	// for the offloads that will follow. When several functions compete
+	// for the same spread pool, the pool is divided by a second
+	// water-filling over the overflow demands in proportion to function
+	// weight (AdjustCapped over the reachable spare), not by name order:
+	// a heavy function displaced from its hot site keeps its weight
+	// advantage wherever its overflow lands. Functions whose host sets
+	// run dry return their unplaced share to the next round, until no
+	// placement makes progress.
+	type spreadDemand struct {
+		fn     string
+		need   int64
+		weight float64
+	}
+	overflowOf := make(map[string]*spreadDemand)
+	var overflow []*spreadDemand
 	for _, s := range sites {
 		id := "site:" + s.Site
 		for _, fd := range s.Functions {
@@ -247,25 +262,41 @@ func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 				e = fd.DesiredCPU
 			}
 			if miss := e - granted[s.Site][fd.Name]; miss > 0 {
-				if overflow[fd.Name] == 0 {
-					fnNames = append(fnNames, fd.Name)
+				d := overflowOf[fd.Name]
+				if d == nil {
+					d = &spreadDemand{fn: fd.Name, weight: fd.Weight}
+					overflowOf[fd.Name] = d
+					overflow = append(overflow, d)
 				}
-				overflow[fd.Name] += miss
+				d.need += miss
+				if fd.Weight > d.weight {
+					// Sites may weight the same function differently; the
+					// heaviest overflowing claim arbitrates for all of them
+					// (deterministic, and never understates a priority).
+					d.weight = fd.Weight
+				}
 			}
 		}
 	}
-	sort.Strings(fnNames)
-	for _, fn := range fnNames {
-		need := overflow[fn]
-		// Candidate hosts: sites serving fn with spare capacity, most
-		// spare first (ties by site order for determinism).
-		type host struct {
-			site  string
-			spare int64
-			order int
+	// Heaviest first, ties by name, so host placement order — which
+	// mutates spare between functions — follows the same priority the
+	// water-filling grants capacity by.
+	sort.Slice(overflow, func(i, j int) bool {
+		if overflow[i].weight != overflow[j].weight {
+			return overflow[i].weight > overflow[j].weight
 		}
+		return overflow[i].fn < overflow[j].fn
+	})
+	type host struct {
+		site  string
+		spare int64
+		order int
+	}
+	// hostsOf returns the sites serving fn with spare capacity, most spare
+	// first (ties by site order for determinism), plus their total spare.
+	hostsOf := func(fn string) ([]host, int64) {
 		var hosts []host
-		var hostSpare int64
+		var total int64
 		for i, s := range sites {
 			if spare[s.Site] <= 0 {
 				continue
@@ -273,7 +304,7 @@ func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 			for _, fd := range s.Functions {
 				if fd.Name == fn {
 					hosts = append(hosts, host{s.Site, spare[s.Site], i})
-					hostSpare += spare[s.Site]
+					total += spare[s.Site]
 					break
 				}
 			}
@@ -284,34 +315,81 @@ func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 			}
 			return hosts[i].order < hosts[j].order
 		})
-		if need > hostSpare {
-			need = hostSpare
-		}
-		if need == 0 {
-			continue
-		}
-		// Proportional first pass, then a largest-spare-first mop-up for
-		// the flooring remainder.
-		rem := need
-		for _, h := range hosts {
-			take := need * h.spare / hostSpare
-			granted[h.site][fn] += take
-			spare[h.site] -= take
-			rem -= take
-		}
-		for _, h := range hosts {
-			if rem == 0 {
-				break
+		return hosts, total
+	}
+	for {
+		// One water-filling round: each function's demand is its remaining
+		// overflow capped at what its hosts could physically take, and the
+		// pool is the union of every competing function's reachable spare.
+		var demands []fairshare.Demand
+		var pool int64
+		inPool := make(map[string]bool)
+		for _, d := range overflow {
+			if d.need <= 0 {
+				continue
 			}
-			take := spare[h.site]
-			if take > rem {
-				take = rem
+			hosts, hostSpare := hostsOf(d.fn)
+			if hostSpare == 0 {
+				continue
 			}
-			if take > 0 {
-				granted[h.site][fn] += take
+			want := d.need
+			if want > hostSpare {
+				want = hostSpare
+			}
+			demands = append(demands, fairshare.Demand{ID: d.fn, Weight: d.weight, Desired: want})
+			for _, h := range hosts {
+				if !inPool[h.site] {
+					inPool[h.site] = true
+					pool += spare[h.site]
+				}
+			}
+		}
+		if len(demands) == 0 {
+			break
+		}
+		allocs, err := fairshare.AdjustCapped(demands, pool)
+		if err != nil {
+			return nil, err
+		}
+		progress := false
+		for _, a := range allocs {
+			// Place this function's share on its hosts: a proportional
+			// first pass, then a largest-spare-first mop-up for the
+			// flooring remainder.
+			hosts, hostSpare := hostsOf(a.ID)
+			amount := a.Adjusted
+			if amount > hostSpare {
+				amount = hostSpare
+			}
+			if amount <= 0 {
+				continue
+			}
+			rem := amount
+			for _, h := range hosts {
+				take := amount * h.spare / hostSpare
+				granted[h.site][a.ID] += take
 				spare[h.site] -= take
 				rem -= take
 			}
+			for _, h := range hosts {
+				if rem == 0 {
+					break
+				}
+				take := spare[h.site]
+				if take > rem {
+					take = rem
+				}
+				if take > 0 {
+					granted[h.site][a.ID] += take
+					spare[h.site] -= take
+					rem -= take
+				}
+			}
+			overflowOf[a.ID].need -= amount
+			progress = true
+		}
+		if !progress {
+			break
 		}
 	}
 

@@ -192,6 +192,45 @@ func TestAllocateUserHierarchy(t *testing.T) {
 	}
 }
 
+// Two equal-demand functions of unequal weight overflow the same hot site
+// and compete for one undersized spread host: the spread pass must divide
+// the pool weight-proportionally (a second water-filling), not hand it to
+// whichever function sorts first by name. The scenario pins the numbers:
+// the hot site (1000 mC) grants 750/250 locally (3:1 weights), the spread
+// host has 500 mC spare against 562+187 of overflow, and the third site's
+// spare is unreachable (it does not serve either function).
+func TestAllocateSpreadWeightProportional(t *testing.T) {
+	sites := []SiteDemand{
+		{Site: "hot", CapacityCPU: 1000, Functions: []FunctionDemand{
+			{Name: "f-heavy", Weight: 3, DesiredCPU: 4000},
+			{Name: "f-light", Weight: 1, DesiredCPU: 4000},
+		}},
+		{Site: "host", CapacityCPU: 500, Functions: []FunctionDemand{
+			{Name: "f-heavy", Weight: 3, DesiredCPU: 0},
+			{Name: "f-light", Weight: 1, DesiredCPU: 0},
+		}},
+		{Site: "other", CapacityCPU: 2000, Functions: []FunctionDemand{
+			{Name: "f-other", Weight: 1, DesiredCPU: 2000},
+		}},
+	}
+	res, err := Allocate(sites, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := grantOf(t, res, "host", "f-heavy").GrantedCPU
+	light := grantOf(t, res, "host", "f-light").GrantedCPU
+	if light == 0 {
+		t.Fatal("f-light spread grant is 0: name-order arbitration starved the lighter function")
+	}
+	if heavy != 375 || light != 125 {
+		t.Errorf("spread grants heavy=%d light=%d want 375/125 (3:1 water-filling over the 500 mC pool)",
+			heavy, light)
+	}
+	if heavy+light != 500 {
+		t.Errorf("spread used %d of the 500 mC host", heavy+light)
+	}
+}
+
 func TestAllocateValidation(t *testing.T) {
 	cases := []struct {
 		name  string

@@ -87,6 +87,18 @@ type Config struct {
 	// NoBurstDetection ignores the short-window burst signal and always
 	// uses the EWMA-smoothed long-window rate — the estimator ablation.
 	NoBurstDetection bool
+	// OfferedLoadDemand makes the ingress feed *offered* load — including
+	// requests a federation placement layer sheds to peers or the cloud —
+	// into this controller's arrival-rate estimator even under
+	// per-site-local allocation. Without it the estimator sees only kept
+	// arrivals, so a steadily-shedding origin's overload signal
+	// oscillates: shed load vanishes from the arrival stream, headroom
+	// recovers, shedding stops, and the overload returns. The federation
+	// layer reads this knob at its offload hook (the global fair-share
+	// allocator always accounts offered load, knob or not); standalone
+	// single-cluster platforms have no shedding path, so they are
+	// unaffected.
+	OfferedLoadDemand bool
 }
 
 // Default returns the paper-faithful configuration.
@@ -489,6 +501,18 @@ func (ctl *Controller) SetCapacityGrants(grants map[string]int64) {
 // GrantedExternally reports whether an external allocator currently
 // governs this controller's capacity enforcement.
 func (ctl *Controller) GrantedExternally() bool { return ctl.grants != nil }
+
+// Granted returns the externally-imposed CPU grant (millicores) for one
+// function and whether such a grant exists. The federation's placement
+// context exposes this per candidate site, so allocator-aware policies can
+// credit granted-but-not-yet-materialized capacity.
+func (ctl *Controller) Granted(fn string) (int64, bool) {
+	if ctl.grants == nil {
+		return 0, false
+	}
+	g, ok := ctl.grants[fn]
+	return g, ok
+}
 
 // Step runs one allocation epoch (§3.3): estimate rates, compute desired
 // capacity per function, then enforce — against the local cluster capacity

@@ -86,6 +86,11 @@ type Options struct {
 
 // FedOptions are the federation-experiment knobs cmd/lass-sim exposes.
 type FedOptions struct {
+	// Policy, when set, restricts the sweep to the single named placement
+	// policy (any name in the placer registry, including custom placers
+	// registered via federation.RegisterPlacer); empty sweeps every
+	// registered policy.
+	Policy string
 	// Topology selects the inter-site topology: "" or "ring" (the
 	// original ring-distance model) or "star" (site 0 as hub).
 	Topology string
@@ -106,6 +111,10 @@ type FedOptions struct {
 	AllocEpoch      time.Duration
 	// Admission turns on offload-aware §3.4 admission control.
 	Admission bool
+	// OfferedLoad sets ControllerConfig.OfferedLoadDemand on every site,
+	// so origins keep estimating demand from offered load (shed requests
+	// included) even under per-site-local allocation.
+	OfferedLoad bool
 	// PeerSelection picks the shed-target peer: "" or "nearest"
 	// (strict RTT order) or "p2c" (power-of-two-choices by headroom).
 	PeerSelection string

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"lass/internal/federation"
 )
 
 var quick = Options{Seed: 7, Quick: true}
@@ -374,8 +376,8 @@ func TestFederationTraceShapeHolds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 16 { // 4 policies x (3 sites + aggregate)
-		t.Fatalf("rows=%d want 16", len(tab.Rows))
+	if want := 4 * len(federation.PlacerNames()); len(tab.Rows) != want {
+		t.Fatalf("rows=%d want %d (every registered policy x (3 sites + aggregate))", len(tab.Rows), want)
 	}
 	agg := func(policy string) []string {
 		for _, row := range tab.Rows {

@@ -55,13 +55,38 @@ func federationSites(opt Options, unit time.Duration) ([]core.Config, time.Durat
 	return sites, end, nil
 }
 
+// sweepPlacers resolves the placement policies one federation sweep runs:
+// every registered placer in registration order, or — when opt.Fed.Policy
+// names one — just that policy. Custom placers registered through
+// federation.RegisterPlacer appear automatically, one sweep row set each.
+func sweepPlacers(opt Options) ([]federation.Placer, error) {
+	names := federation.PlacerNames()
+	if opt.Fed.Policy != "" {
+		names = []string{opt.Fed.Policy}
+	}
+	out := make([]federation.Placer, len(names))
+	for i, name := range names {
+		p, err := federation.ParsePlacer(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
 // federationConfig assembles a federation.Config for the sweep, applying
 // the command-line topology, cloud, allocation, and admission knobs from
 // opt.Fed.
-func federationConfig(opt Options, sites []core.Config, policy federation.Policy) (federation.Config, error) {
+func federationConfig(opt Options, sites []core.Config, placer federation.Placer) (federation.Config, error) {
+	if opt.Fed.OfferedLoad {
+		for i := range sites {
+			sites[i].Controller.OfferedLoadDemand = true
+		}
+	}
 	cfg := federation.Config{
 		Sites:                   sites,
-		Policy:                  policy,
+		Placer:                  placer,
 		Seed:                    opt.Seed ^ 0xfedc,
 		CloudWarmWindow:         opt.Fed.CloudWarmWindow,
 		CloudAlwaysWarm:         opt.Fed.CloudAlwaysWarm,
@@ -119,6 +144,7 @@ func allocLabel(global bool) string {
 // table.
 func addFederationRows(t *Table, res *federation.Result) {
 	alloc := allocLabel(res.GlobalFairShare)
+	policy := res.Placer
 	var arrivals, local, toPeer, toCloud, rejected, coldStarts, violated, total uint64
 	var cost float64
 	for _, s := range res.Sites {
@@ -138,7 +164,7 @@ func addFederationRows(t *Table, res *federation.Result) {
 		// policies that strand the most work.
 		violated += s.Violations()
 		total += s.SLO.Total() + s.Unresolved
-		t.AddRow(res.Policy.String(), alloc, s.Name,
+		t.AddRow(policy, alloc, s.Name,
 			fmt.Sprintf("%d", sa),
 			fmt.Sprintf("%d", s.ServedLocal),
 			fmt.Sprintf("%d", s.OffloadedPeer),
@@ -150,7 +176,7 @@ func addFederationRows(t *Table, res *federation.Result) {
 			msF(s.Responses.Quantile(0.95)),
 			fmt.Sprintf("%.4f", s.ViolationRate()))
 	}
-	t.AddRow(res.Policy.String(), alloc, "all",
+	t.AddRow(policy, alloc, "all",
 		fmt.Sprintf("%d", arrivals),
 		fmt.Sprintf("%d", local),
 		fmt.Sprintf("%d", toPeer),
@@ -186,18 +212,49 @@ func MissingBaselineColumns(baselineJSON []byte, tab *Table) ([]string, error) {
 	return missing, nil
 }
 
-// sweepFederationPolicies runs all placement policies over freshly built
-// sites, appends per-site and aggregate rows to the table, and verifies
-// the never policy bit-for-bit against standalone runs (under
-// per-site-local allocation; global grants legitimately change pool
-// sizing, so the pure-superset invariant is asserted on the local path).
+// MissingBaselinePolicies compares a committed sweep-baseline JSON against
+// the registered placement policies and returns the policy names lacking
+// an aggregate ("all") row — the signal that a newly-registered placer's
+// results were never folded into the baseline, so its drift would go
+// unguarded. Pass federation.BuiltinPlacerNames for the committed
+// baseline, which is regenerated from the built-in sweep.
+func MissingBaselinePolicies(baselineJSON []byte, policies []string) ([]string, error) {
+	var baseline struct{ Rows [][]string }
+	if err := json.Unmarshal(baselineJSON, &baseline); err != nil {
+		return nil, fmt.Errorf("experiments: unparsable baseline: %w", err)
+	}
+	have := make(map[string]bool)
+	for _, row := range baseline.Rows {
+		if len(row) >= 3 && row[2] == "all" {
+			have[row[0]] = true
+		}
+	}
+	var missing []string
+	for _, p := range policies {
+		if !have[p] {
+			missing = append(missing, p)
+		}
+	}
+	return missing, nil
+}
+
+// sweepFederationPolicies runs every registered placement policy (or the
+// one opt.Fed.Policy selects) over freshly built sites, appends per-site
+// and aggregate rows to the table, and verifies the never policy
+// bit-for-bit against standalone runs (under per-site-local allocation;
+// global grants legitimately change pool sizing, so the pure-superset
+// invariant is asserted on the local path).
 func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
-	for _, policy := range federation.Policies() {
+	placers, err := sweepPlacers(opt)
+	if err != nil {
+		return err
+	}
+	for _, placer := range placers {
 		sites, end, err := build()
 		if err != nil {
 			return err
 		}
-		fcfg, err := federationConfig(opt, sites, policy)
+		fcfg, err := federationConfig(opt, sites, placer)
 		if err != nil {
 			return err
 		}
@@ -209,7 +266,8 @@ func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 		if err != nil {
 			return err
 		}
-		if policy == federation.Never && !fcfg.GlobalFairShare && !fcfg.OffloadAwareAdmission {
+		if placer.Name() == "never" && !fcfg.GlobalFairShare && !fcfg.OffloadAwareAdmission &&
+			!opt.Fed.OfferedLoad {
 			if err := checkNeverBaseline(build, res); err != nil {
 				return err
 			}
@@ -219,7 +277,8 @@ func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 	return nil
 }
 
-// Federation sweeps the four offload policies over the three-site
+// Federation sweeps every registered placement policy (the six built-ins,
+// plus any custom placers registered at run time) over the three-site
 // edge–cloud scenario and reports, per policy and site, where requests
 // were served, the cloud cold starts and cost they incurred, and the
 // end-to-end SLO-violation rate (response time including network RTT,

@@ -74,9 +74,16 @@ func FederationFairShare(opt Options) (*Table, error) {
 	build := func() ([]core.Config, time.Duration, error) {
 		return federationTraceSites(opt, rows, minutes)
 	}
-	policies := []federation.Policy{federation.Never, federation.NearestPeer, federation.ModelDriven}
+	policies := []string{"never", "nearest-peer", "model-driven"}
+	if opt.Fed.Policy != "" {
+		policies = []string{opt.Fed.Policy}
+	}
 	for _, global := range []bool{false, true} {
-		for _, policy := range policies {
+		for _, name := range policies {
+			placer, err := federation.ParsePlacer(name)
+			if err != nil {
+				return nil, err
+			}
 			o := opt
 			o.Fed.GlobalFairShare = global
 			o.Fed.Admission = true
@@ -91,7 +98,7 @@ func FederationFairShare(opt Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			fcfg, err := federationConfig(o, sites, policy)
+			fcfg, err := federationConfig(o, sites, placer)
 			if err != nil {
 				return nil, err
 			}

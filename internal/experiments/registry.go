@@ -23,6 +23,7 @@ var Registry = map[string]Runner{
 	"federation":           Federation,
 	"federation-trace":     FederationTrace,
 	"federation-fairshare": FederationFairShare,
+	"federation-placers":   FederationPlacers,
 	"openwhisk":            OpenWhisk,
 	"ablation-estimator":   AblationEstimator,
 	"ablation-placement":   AblationPlacement,

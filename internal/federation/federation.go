@@ -2,9 +2,18 @@
 // edge sites, each running the unmodified LaSS controller/cluster/dispatch
 // stack, plus an elastic but high-latency cloud backend. A per-request
 // placement layer decides at each site's ingress whether to serve locally,
-// offload to a peer edge site (paying an RTT penalty), or fall back to the
+// offload to a peer edge site (paying an RTT penalty), fall back to the
 // cloud when the local site is over capacity or the backlog predicts an
-// SLO miss.
+// SLO miss, or reject the request outright (§3.4 admission).
+//
+// Placement is pluggable: every decision goes through a Placer
+// (Place(ctx *PlacementContext) Decision), and the PlacementContext hands
+// the policy everything the federation knows about the request's
+// candidates — predicted responses, topology RTTs, controller headroom and
+// backlog, global fair-share grants, and cloud prediction/queue/cost
+// state. The historical enum policies are built-in placers registered by
+// name; custom policies register with RegisterPlacer and are selected by
+// name without touching this package.
 //
 // The paper (§3.4) evaluates admission control on a single
 // resource-constrained cluster; this package opens the scenario family of
@@ -57,6 +66,12 @@ import (
 )
 
 // Policy selects the per-request offload placement policy.
+//
+// Deprecated: Policy is the legacy enum surface, kept as a thin shim over
+// the placer registry — each value resolves to the built-in Placer of the
+// same name, and Config.Placer (or PlacerByName) supersedes it. New
+// policies are Placers registered with RegisterPlacer; they need no enum
+// value.
 type Policy int
 
 const (
@@ -89,7 +104,10 @@ func (p Policy) String() string {
 	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// ParsePolicy returns the policy named by s.
+// ParsePolicy returns the enum policy named by s.
+//
+// Deprecated: ParsePolicy only knows the four legacy enum values; use
+// ParsePlacer, which resolves every registered policy.
 func ParsePolicy(s string) (Policy, error) {
 	for _, p := range Policies() {
 		if p.String() == s {
@@ -145,7 +163,14 @@ type Config struct {
 	// Engine set on a site config is replaced by the federation's shared
 	// engine.
 	Sites []core.Config
-	// Policy is the placement policy applied at every site's ingress.
+	// Placer is the placement policy consulted at every site's ingress.
+	// When nil, the deprecated Policy enum selects the equally-named
+	// built-in placer; custom policies come from RegisterPlacer /
+	// PlacerByName and need no federation changes.
+	Placer Placer
+	// Policy is the legacy enum form of the placement policy, kept as a
+	// thin shim over the placer registry: each enum value resolves to the
+	// built-in Placer of the same name. Ignored when Placer is set.
 	Policy Policy
 	// Topology, when set, is the explicit one-way inter-site latency
 	// matrix; its size must match Sites. When nil, the federation uses
@@ -301,6 +326,7 @@ type Federation struct {
 	Sites  []*Site
 
 	cfg         Config
+	placer      Placer
 	cloudRng    *xrand.Rand
 	peerRng     *xrand.Rand
 	cloudServed uint64
@@ -339,10 +365,20 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: %d site weights for %d sites",
 			len(cfg.SiteWeights), len(cfg.Sites))
 	}
+	placer := cfg.Placer
+	if placer == nil {
+		// The deprecated enum is a thin shim: resolve it through the same
+		// registry custom policies use.
+		var err error
+		if placer, err = PlacerByName(cfg.Policy.String()); err != nil {
+			return nil, err
+		}
+	}
 	engine := sim.NewEngine()
 	f := &Federation{
 		Engine:     engine,
 		cfg:        cfg,
+		placer:     placer,
 		cloudRng:   xrand.New(cfg.Seed ^ 0xfed0),
 		peerRng:    xrand.New(cfg.Seed ^ 0x9ee2),
 		cloudPools: make(map[string]*cloudPool),
@@ -399,29 +435,33 @@ func (f *Federation) peersByRTT(s *Site) []*Site {
 	return peers
 }
 
-// wire installs the placement hook on one site queue.
+// wire installs the placement hook on one site queue: every arrival builds
+// a PlacementContext, asks the configured Placer, and enacts the sanitized
+// decision.
 func (f *Federation) wire(s *Site, q *dispatch.Queue) {
 	q.Offload = func(r *dispatch.Request) bool {
-		target, toCloud, reject := f.place(s, q)
-		if f.cfg.GlobalFairShare && (reject || toCloud || target != nil) {
-			// Under the global allocator, demand is estimated from
-			// offered load at the ingress: the core platform records only
-			// locally-admitted arrivals, so the hook records the claimed
-			// ones here (and offloadToPeer skips the host-side record).
-			// This is what lets the coordinator see an overloaded site's
-			// full demand instead of just the share it kept.
+		d := f.decide(s, q)
+		if d.Kind != ServeLocal && f.offeredLoadDemand(s) {
+			// Demand is estimated from offered load at the ingress: the
+			// core platform records only locally-admitted arrivals, so the
+			// hook records the shed ones here (and offloadToPeer skips the
+			// host-side record under the global allocator). This is what
+			// lets the coordinator — or, under ControllerConfig.
+			// OfferedLoadDemand, the origin's own estimator — see an
+			// overloaded site's full demand instead of just the share it
+			// kept.
 			s.Platform.Controller.RecordArrival(q.Spec().Name)
 		}
-		switch {
-		case reject:
+		switch d.Kind {
+		case RejectRequest:
 			s.Rejected++
 			q.Reject(r)
 			return true
-		case toCloud:
+		case OffloadCloud:
 			f.offloadToCloud(s, q, r)
 			return true
-		case target != nil:
-			f.offloadToPeer(s, target, q.Spec().Name, r)
+		case OffloadSite:
+			f.offloadToPeer(s, f.Sites[d.Site], q.Spec().Name, r)
 			return true
 		default:
 			s.ServedLocal++
@@ -429,6 +469,55 @@ func (f *Federation) wire(s *Site, q *dispatch.Queue) {
 			return false
 		}
 	}
+}
+
+// offeredLoadDemand reports whether shed ingress requests at site s should
+// still feed its controller's arrival-rate estimator: always under the
+// global allocator (the coordinator needs full offered demand), and under
+// per-site-local allocation when the site's controller opted in via
+// ControllerConfig.OfferedLoadDemand — the knob that stops the origin's
+// overload signal oscillating when shed load vanishes from its arrival
+// stream.
+func (f *Federation) offeredLoadDemand(s *Site) bool {
+	return f.cfg.GlobalFairShare || s.Platform.Controller.Config().OfferedLoadDemand
+}
+
+// decide consults the placer for one ingress request at site s and
+// sanitizes its decision: an out-of-range, self, or non-serving peer
+// target falls back to local service, and — for a sheddable request —
+// the §3.4 admission invariants are enforced independently of the policy:
+// the request is never queued at its overloaded origin (ServeLocal becomes
+// RejectRequest), and a cloud landing is gated by the cloud's projected
+// queueing delay (cloudAdmits). Composing admission here is what lets any
+// custom placer participate in offload-aware admission without
+// special-casing.
+func (f *Federation) decide(s *Site, q *dispatch.Queue) Decision {
+	ctx := &PlacementContext{
+		f:      f,
+		origin: s,
+		q:      q,
+		sheddable: f.cfg.OffloadAwareAdmission &&
+			f.overloaded(s, q.Spec().Name),
+	}
+	d := f.placer.Place(ctx)
+	if d.Kind == OffloadSite {
+		if d.Site < 0 || d.Site >= len(f.Sites) || d.Site == s.Index {
+			d = Local()
+		} else if _, ok := f.Sites[d.Site].Platform.Queues[q.Spec().Name]; !ok {
+			d = Local()
+		}
+	}
+	if ctx.sheddable {
+		switch d.Kind {
+		case ServeLocal:
+			d = Reject()
+		case OffloadCloud:
+			if !f.cloudAdmits(q) {
+				d = Reject()
+			}
+		}
+	}
+	return d
 }
 
 // observe records one end-to-end response attributed to the ingress site.
@@ -445,7 +534,14 @@ func (s *Site) observe(resp time.Duration) {
 // peer work shows up as backlog instead — so the backlog signal alone
 // gates, letting spread-granted hosts exert backpressure.
 func (f *Federation) overloaded(s *Site, fn string) bool {
-	q := s.Platform.Queues[fn]
+	q, ok := s.Platform.Queues[fn]
+	if !ok {
+		// The site does not serve fn at all: it can absorb nothing, which
+		// for placement purposes is the same as being overloaded. Internal
+		// callers never hit this, but PlacementContext.Overloaded hands
+		// custom placers any site index without a bounds obligation.
+		return true
+	}
 	n := q.Containers()
 	if n == 0 {
 		// An empty pool can serve nothing: shed immediately (and refuse
@@ -534,97 +630,6 @@ func (f *Federation) predictResponse(s *Site, fn string, extraRTT time.Duration)
 	// where the placement decision matters. For an undeflated pool this
 	// reduces to the standard mean service time.
 	return extraRTT.Seconds() + (backlog+float64(q.Containers()))/capacity
-}
-
-// place decides where an ingress request at site s should be served:
-// locally (nil, false, false), at a peer (peer, false, false), in the
-// cloud (nil, true, false), or nowhere (nil, false, true — admission
-// rejected it).
-func (f *Federation) place(s *Site, q *dispatch.Queue) (target *Site, toCloud, reject bool) {
-	fn := q.Spec().Name
-	if f.cfg.OffloadAwareAdmission && f.overloaded(s, fn) {
-		// §3.4 admission coupled to placement: a sheddable request — one
-		// the origin would reject — is first offered along the policy's
-		// placement preferences, and rejected only when no site's grant
-		// has headroom and the cloud is throttled past the SLO.
-		switch f.cfg.Policy {
-		case Never:
-			// No placement allowed: §3.4 verbatim, reject at the origin.
-			return nil, false, true
-		case CloudOnly:
-			if f.cloudAdmits(q) {
-				return nil, true, false
-			}
-			return nil, false, true
-		case NearestPeer:
-			if p := f.selectPeer(s, fn); p != nil {
-				return p, false, false
-			}
-			if f.cloudAdmits(q) {
-				return nil, true, false
-			}
-			return nil, false, true
-		case ModelDriven:
-			// Best predicted alternative (peers by backlog+RTT, cloud);
-			// reject when even the best prediction misses the SLO.
-			deadline := f.cfg.ResponseSLO.Seconds()
-			var best *Site
-			bestResp := math.Inf(1)
-			for _, p := range s.peers {
-				legs := f.rtt(s.Index, p.Index) + f.rtt(p.Index, s.Index)
-				if resp := f.predictResponse(p, fn, legs); resp < bestResp {
-					best, bestResp = p, resp
-				}
-			}
-			if cloud := f.predictCloud(q); cloud < bestResp {
-				if cloud <= deadline && f.cloudAdmits(q) {
-					return nil, true, false
-				}
-				return nil, false, true
-			}
-			if bestResp <= deadline {
-				return best, false, false
-			}
-			return nil, false, true
-		}
-	}
-	switch f.cfg.Policy {
-	case CloudOnly:
-		if f.overloaded(s, fn) {
-			return nil, true, false
-		}
-	case NearestPeer:
-		if !f.overloaded(s, fn) {
-			return nil, false, false
-		}
-		if p := f.selectPeer(s, fn); p != nil {
-			return p, false, false
-		}
-		return nil, true, false
-	case ModelDriven:
-		deadline := f.cfg.ResponseSLO.Seconds()
-		local := f.predictResponse(s, fn, 0)
-		if local <= deadline {
-			return nil, false, false
-		}
-		// Predicted SLO miss: pick the fastest alternative, local
-		// included — offloading must actually help. Peer predictions pay
-		// both network legs, which may differ under an asymmetric
-		// topology.
-		var best *Site
-		bestResp := local
-		for _, p := range s.peers {
-			legs := f.rtt(s.Index, p.Index) + f.rtt(p.Index, s.Index)
-			if resp := f.predictResponse(p, fn, legs); resp < bestResp {
-				best, bestResp = p, resp
-			}
-		}
-		if f.predictCloud(q) < bestResp {
-			return nil, true, false
-		}
-		return best, false, false
-	}
-	return nil, false, false
 }
 
 // offloadToPeer ships the request to the target site: it arrives there one
@@ -850,6 +855,11 @@ func (r SiteResult) ViolationRate() float64 {
 
 // Result is the outcome of a federated run.
 type Result struct {
+	// Placer names the placement policy the run used (the registry key,
+	// e.g. "model-driven" or a custom name).
+	Placer string
+	// Policy is the legacy enum form; meaningful only when the run was
+	// configured through Config.Policy rather than Config.Placer.
 	Policy      Policy
 	Duration    time.Duration
 	Sites       []SiteResult
@@ -888,7 +898,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 	if f.allocErr != nil {
 		return nil, fmt.Errorf("federation: global allocator: %w", f.allocErr)
 	}
-	res := &Result{Policy: f.cfg.Policy, Duration: duration, CloudServed: f.cloudServed,
+	res := &Result{Placer: f.placer.Name(), Policy: f.cfg.Policy, Duration: duration,
+		CloudServed:     f.cloudServed,
 		GlobalFairShare: f.cfg.GlobalFairShare, AllocEpochs: f.allocEpochs}
 	if f.allocEpochs > 0 {
 		res.MeanStrandedCPU = f.strandedSum / float64(f.allocEpochs)

@@ -1,0 +1,617 @@
+package federation
+
+//go:generate go run ./gen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"lass/internal/dispatch"
+	"lass/internal/functions"
+)
+
+// Placer is the pluggable per-request placement policy: at every site's
+// ingress the federation builds a PlacementContext for the arriving request
+// and asks the configured Placer where to serve it. Implementations must be
+// deterministic functions of the context (any randomness should come from
+// context accessors such as SelectPeer, which draw on the federation's
+// seeded streams), so federated runs stay exactly reproducible.
+//
+// The four historical enum policies (Never, CloudOnly, NearestPeer,
+// ModelDriven) are themselves Placers registered under their names; custom
+// policies register with RegisterPlacer and are selected by name through
+// Config.Placer, ParsePlacer, or the lass-sim -policy flag — no federation
+// code needs to change to add one.
+type Placer interface {
+	// Name is the registry key ("never", "model-driven", ...): lower-case,
+	// no whitespace.
+	Name() string
+	// Place decides where the request described by ctx is served. The
+	// federation sanitizes the decision (an out-of-range or non-serving
+	// peer target falls back to local service) and enforces §3.4 admission
+	// on sheddable requests: a sheddable request is never queued at its
+	// overloaded origin (ServeLocal becomes RejectRequest) and a cloud
+	// landing is gated by CloudAdmits.
+	Place(ctx *PlacementContext) Decision
+}
+
+// DecisionKind enumerates the placement outcomes.
+type DecisionKind int
+
+const (
+	// ServeLocal queues the request at its ingress site.
+	ServeLocal DecisionKind = iota
+	// OffloadSite ships the request to the peer edge site Decision.Site.
+	OffloadSite
+	// OffloadCloud serves the request on the cloud backend.
+	OffloadCloud
+	// RejectRequest drops the request (§3.4 admission control); it remains
+	// an SLO violation at its origin.
+	RejectRequest
+)
+
+// Decision is a Placer's verdict for one request.
+type Decision struct {
+	Kind DecisionKind
+	// Site is the target site index; meaningful only for OffloadSite.
+	Site int
+}
+
+// Local places the request at its ingress site.
+func Local() Decision { return Decision{Kind: ServeLocal} }
+
+// ToSite offloads the request to the peer edge site with the given index.
+func ToSite(site int) Decision { return Decision{Kind: OffloadSite, Site: site} }
+
+// ToCloud offloads the request to the cloud backend.
+func ToCloud() Decision { return Decision{Kind: OffloadCloud} }
+
+// Reject drops the request at admission (§3.4).
+func Reject() Decision { return Decision{Kind: RejectRequest} }
+
+// String names the decision for logs and errors.
+func (d Decision) String() string {
+	switch d.Kind {
+	case ServeLocal:
+		return "local"
+	case OffloadSite:
+		return fmt.Sprintf("site(%d)", d.Site)
+	case OffloadCloud:
+		return "cloud"
+	case RejectRequest:
+		return "reject"
+	}
+	return fmt.Sprintf("decision(%d)", int(d.Kind))
+}
+
+// PlacementContext exposes, per candidate location, everything the
+// federation computes about one arriving request: the request's function
+// and end-to-end SLO, predicted responses (§3.1's queueing model extended
+// with the network legs), one-way RTTs from the topology, controller
+// headroom and backlog, the global fair-share allocator's grants
+// (including granted-but-cold pre-provisioned pools), and the cloud's
+// predicted response, admission headroom, and per-request cost. Site
+// arguments are federation site indices (Origin, 0..NumSites-1); accessors
+// return +Inf / zero values for out-of-range sites, so placers need no
+// bounds checks.
+type PlacementContext struct {
+	f         *Federation
+	origin    *Site
+	q         *dispatch.Queue
+	sheddable bool
+}
+
+// Function returns the request's function name.
+func (ctx *PlacementContext) Function() string { return ctx.q.Spec().Name }
+
+// Spec returns the request's function spec (container size, service-time
+// model, cold start — Table 1).
+func (ctx *PlacementContext) Spec() functions.Spec { return ctx.q.Spec() }
+
+// Origin returns the ingress site's index.
+func (ctx *PlacementContext) Origin() int { return ctx.origin.Index }
+
+// NumSites returns the number of edge sites in the federation.
+func (ctx *PlacementContext) NumSites() int { return len(ctx.f.Sites) }
+
+// ResponseSLO returns the end-to-end response deadline the federation
+// accounts violations against (network RTT included).
+func (ctx *PlacementContext) ResponseSLO() time.Duration { return ctx.f.cfg.ResponseSLO }
+
+// Sheddable reports whether §3.4 offload-aware admission applies to this
+// request: admission control is enabled and the origin is overloaded. The
+// federation will not queue a sheddable request locally — a ServeLocal
+// decision becomes RejectRequest — so placers that want the legacy
+// admission behaviour should offer the request along their placement
+// preferences and Reject only when nothing admissible remains.
+func (ctx *PlacementContext) Sheddable() bool { return ctx.sheddable }
+
+// Serves reports whether the site runs this request's function at all.
+func (ctx *PlacementContext) Serves(site int) bool {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return false
+	}
+	_, ok := ctx.f.Sites[site].Platform.Queues[ctx.Function()]
+	return ok
+}
+
+// Overloaded reports the federation's epoch-level overload signal for the
+// site: no servable capacity, or controller headroom exhausted with the
+// backlog beyond the shed depth (Config.OverloadQueueDepth).
+func (ctx *PlacementContext) Overloaded(site int) bool {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return true
+	}
+	return ctx.f.overloaded(ctx.f.Sites[site], ctx.Function())
+}
+
+// Accepts reports whether the site would absorb offloaded work for this
+// function right now: it serves the function, is not overloaded, and
+// either its controller reports spare capacity or — under the global
+// allocator — it holds pre-provisioned (spread-granted) idle containers.
+func (ctx *PlacementContext) Accepts(site int) bool {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return false
+	}
+	return ctx.f.accepts(ctx.f.Sites[site], ctx.Function())
+}
+
+// SelectPeer runs the configured peer-selection strategy
+// (Config.PeerSelection: nearest-first scan or power-of-two-choices) over
+// the origin's peers and returns the chosen site index, or -1 when no peer
+// accepts. Power-of-two-choices draws from the federation's seeded peer
+// stream, so calls advance that stream exactly as the historical policies
+// did.
+func (ctx *PlacementContext) SelectPeer() int {
+	if p := ctx.f.selectPeer(ctx.origin, ctx.Function()); p != nil {
+		return p.Index
+	}
+	return -1
+}
+
+// PeersByRTT returns the other sites' indices in ascending-RTT order from
+// the origin (ties broken by index) — the deterministic scan order the
+// built-in policies iterate candidates in.
+func (ctx *PlacementContext) PeersByRTT() []int {
+	out := make([]int, len(ctx.origin.peers))
+	for i, p := range ctx.origin.peers {
+		out[i] = p.Index
+	}
+	return out
+}
+
+// RTT returns the one-way network latency from site i to site j, read from
+// the topology matrix.
+func (ctx *PlacementContext) RTT(i, j int) time.Duration {
+	n := len(ctx.f.Sites)
+	if i < 0 || i >= n || j < 0 || j >= n {
+		return 0
+	}
+	return ctx.f.rtt(i, j)
+}
+
+// PredictResponse estimates the end-to-end response time (seconds) of
+// serving this request at the given site: current backlog drained at the
+// pool's aggregate service rate, plus one mean service time, plus — for a
+// peer — both network legs from the origin. +Inf when the site cannot
+// serve the function.
+func (ctx *PlacementContext) PredictResponse(site int) float64 {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return math.Inf(1)
+	}
+	var extra time.Duration
+	if site != ctx.origin.Index {
+		extra = ctx.f.rtt(ctx.origin.Index, site) + ctx.f.rtt(site, ctx.origin.Index)
+	}
+	return ctx.f.predictResponse(ctx.f.Sites[site], ctx.Function(), extra)
+}
+
+// PredictCloud estimates the end-to-end response time (seconds) of serving
+// this request in the cloud right now: both network legs, the mean
+// standard service time, the queueing delay a capped pool would impose,
+// and the cold start the request would pay if no warm instance will greet
+// it.
+func (ctx *PlacementContext) PredictCloud() float64 { return ctx.f.predictCloud(ctx.q) }
+
+// CloudAdmits reports whether the cloud still has headroom for one more
+// request of this function: always when uncapped, otherwise only while the
+// projected at-the-cap queueing delay stays within the response SLO.
+func (ctx *PlacementContext) CloudAdmits() bool { return ctx.f.cloudAdmits(ctx.q) }
+
+// CloudCostPerRequest returns the expected bill ($) for serving one
+// request of this function in the cloud: the per-invocation price plus the
+// mean standard service time at the GB-second price (the cost axis the
+// sweep tables report).
+func (ctx *PlacementContext) CloudCostPerRequest() float64 {
+	spec := ctx.q.Spec()
+	return ctx.f.cfg.CloudPricePerInvocation +
+		spec.MeanServiceTimeAt(1.0).Seconds()*ctx.f.cfg.CloudPricePerGBSecond*float64(spec.MemoryMiB)/1024
+}
+
+// Headroom returns the site controller's capacity-headroom signal
+// (millicores left after the queueing model's desires; negative while
+// overloaded).
+func (ctx *PlacementContext) Headroom(site int) int64 {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return 0
+	}
+	return ctx.f.Sites[site].Platform.Controller.Headroom()
+}
+
+// QueueLength returns the site's waiting (not in service) request count
+// for this function.
+func (ctx *PlacementContext) QueueLength(site int) int {
+	if q := ctx.siteQueue(site); q != nil {
+		return q.QueueLength()
+	}
+	return 0
+}
+
+// Backlog returns the site's queued plus in-service request count for this
+// function — the numerator of the drain-time prediction.
+func (ctx *PlacementContext) Backlog(site int) int {
+	if q := ctx.siteQueue(site); q != nil {
+		return q.QueueLength() + q.InFlight()
+	}
+	return 0
+}
+
+// Containers returns the site's attached container count for this
+// function.
+func (ctx *PlacementContext) Containers(site int) int {
+	if q := ctx.siteQueue(site); q != nil {
+		return q.Containers()
+	}
+	return 0
+}
+
+// IdleContainers returns the site's attached, currently idle container
+// count for this function — under the global allocator, warm
+// pre-provisioned capacity waiting for offloads.
+func (ctx *PlacementContext) IdleContainers(site int) int {
+	if q := ctx.siteQueue(site); q != nil {
+		return q.IdleContainers()
+	}
+	return 0
+}
+
+// ServiceCapacity returns the site's aggregate service rate (req/s) for
+// this function at the pool's current (possibly deflated) CPU allocations.
+func (ctx *PlacementContext) ServiceCapacity(site int) float64 {
+	if q := ctx.siteQueue(site); q != nil {
+		return q.ServiceCapacity()
+	}
+	return 0
+}
+
+// GloballyAllocated reports whether the run uses the federation-wide §4.1
+// fair-share allocator (Config.GlobalFairShare).
+func (ctx *PlacementContext) GloballyAllocated() bool { return ctx.f.cfg.GlobalFairShare }
+
+// GrantedCPU returns the global allocator's current CPU grant (millicores)
+// for this function at the site, and whether such a grant exists. Grants
+// lag pool reconciliation by up to a controller epoch plus the cold-start
+// delay, so a grant can exceed the live ServiceCapacity — that gap is the
+// granted-but-cold pre-provisioned capacity the grant-aware policy folds
+// into its predictions.
+func (ctx *PlacementContext) GrantedCPU(site int) (int64, bool) {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return 0, false
+	}
+	return ctx.f.Sites[site].Platform.Controller.Granted(ctx.Function())
+}
+
+// DesiredCPU returns the site controller's model-computed CPU desire
+// (millicores) for this function as of its most recent epoch — the §3.1
+// queueing model's answer to the estimated arrival rate, before any
+// fair-share clamp. A site whose desire exceeds its grant is grant-bound:
+// its arrivals outpace the capacity it will be allowed to keep.
+func (ctx *PlacementContext) DesiredCPU(site int) int64 {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return 0
+	}
+	f, ok := ctx.f.Sites[site].Platform.Controller.Function(ctx.Function())
+	if !ok {
+		return 0
+	}
+	return int64(f.Desired) * f.Spec.CPUMillis
+}
+
+func (ctx *PlacementContext) siteQueue(site int) *dispatch.Queue {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return nil
+	}
+	return ctx.f.Sites[site].Platform.Queues[ctx.Function()]
+}
+
+// --- registry ---
+
+var placerMu sync.Mutex
+var placerByName = make(map[string]Placer)
+var placerOrder []string
+
+// RegisterPlacer adds a placement policy to the name-keyed registry, making
+// it selectable via Config.Placer resolution, ParsePlacer, the experiment
+// sweeps, and the lass-sim -policy flag. Names are case-insensitive and
+// must be non-empty without whitespace; registering a duplicate name is an
+// error. The built-in policies are pre-registered.
+func RegisterPlacer(p Placer) error {
+	if p == nil {
+		return fmt.Errorf("federation: nil placer")
+	}
+	name := canonicalPlacerName(p.Name())
+	if name == "" || strings.ContainsAny(name, " \t\n|,") {
+		return fmt.Errorf("federation: invalid placer name %q", p.Name())
+	}
+	placerMu.Lock()
+	defer placerMu.Unlock()
+	if _, dup := placerByName[name]; dup {
+		return fmt.Errorf("federation: placer %q already registered", name)
+	}
+	placerByName[name] = p
+	placerOrder = append(placerOrder, name)
+	return nil
+}
+
+// PlacerByName returns the registered placement policy with the given
+// (case-insensitive) name.
+func PlacerByName(name string) (Placer, error) {
+	placerMu.Lock()
+	defer placerMu.Unlock()
+	if p, ok := placerByName[canonicalPlacerName(name)]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("federation: unknown placement policy %q (registered: %s)",
+		name, strings.Join(placerOrder, ", "))
+}
+
+// ParsePlacer is PlacerByName under the name the command-line surface uses.
+func ParsePlacer(name string) (Placer, error) { return PlacerByName(name) }
+
+// PlacerNames returns every registered policy name in registration order
+// (built-ins first, in sweep order); the federation sweeps run one row per
+// entry.
+func PlacerNames() []string {
+	placerMu.Lock()
+	defer placerMu.Unlock()
+	return append([]string(nil), placerOrder...)
+}
+
+func canonicalPlacerName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+func mustRegister(p Placer) {
+	if err := RegisterPlacer(p); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	// Sweep order: the four legacy enum policies first (their enum values
+	// index this order), then the policies the Placer API made possible.
+	mustRegister(neverPlacer{})
+	mustRegister(cloudOnlyPlacer{})
+	mustRegister(nearestPeerPlacer{})
+	mustRegister(modelDrivenPlacer{})
+	mustRegister(grantAwarePlacer{})
+	mustRegister(costBoundedPlacer{})
+}
+
+// --- built-in placers ---
+
+// neverPlacer serves every request at its ingress site. Under §3.4
+// admission a sheddable request is rejected at the origin (the paper's
+// single-cluster admission control verbatim) — the federation's admission
+// guard converts the ServeLocal decision.
+type neverPlacer struct{}
+
+func (neverPlacer) Name() string { return "never" }
+
+func (neverPlacer) Place(ctx *PlacementContext) Decision { return Local() }
+
+// cloudOnlyPlacer sheds to the cloud when the ingress site is overloaded.
+type cloudOnlyPlacer struct{}
+
+func (cloudOnlyPlacer) Name() string { return "cloud-only" }
+
+func (cloudOnlyPlacer) Place(ctx *PlacementContext) Decision {
+	if ctx.Overloaded(ctx.Origin()) {
+		return ToCloud()
+	}
+	return Local()
+}
+
+// nearestPeerPlacer sheds to the closest accepting peer (via the
+// configured peer selection), falling back to the cloud when no peer can
+// absorb the work.
+type nearestPeerPlacer struct{}
+
+func (nearestPeerPlacer) Name() string { return "nearest-peer" }
+
+func (nearestPeerPlacer) Place(ctx *PlacementContext) Decision {
+	if !ctx.Overloaded(ctx.Origin()) {
+		return Local()
+	}
+	if p := ctx.SelectPeer(); p >= 0 {
+		return ToSite(p)
+	}
+	return ToCloud()
+}
+
+// modelDrivenPlacer predicts the response time at every candidate location
+// (backlog drain time plus RTT) and offloads to the best one whenever the
+// local prediction misses the response SLO. For a sheddable request (§3.4)
+// it skips the local candidate and rejects when even the best prediction
+// misses the SLO.
+type modelDrivenPlacer struct{}
+
+func (modelDrivenPlacer) Name() string { return "model-driven" }
+
+func (modelDrivenPlacer) Place(ctx *PlacementContext) Decision {
+	return placePredictive(ctx, ctx.PredictResponse)
+}
+
+// placePredictive is the shared decision logic of the model-driven family:
+// predict every candidate with the given estimator, serve locally while
+// the local prediction meets the deadline, otherwise offload to the
+// fastest alternative (cloud included), rejecting sheddable requests when
+// nothing admissible meets the deadline.
+func placePredictive(ctx *PlacementContext, predict func(site int) float64) Decision {
+	deadline := ctx.ResponseSLO().Seconds()
+	if ctx.Sheddable() {
+		// §3.4 coupled to placement: best predicted alternative (peers by
+		// backlog+RTT, cloud); reject when even the best prediction misses
+		// the SLO.
+		best, bestResp := -1, math.Inf(1)
+		for _, p := range ctx.PeersByRTT() {
+			if resp := predict(p); resp < bestResp {
+				best, bestResp = p, resp
+			}
+		}
+		if cloud := ctx.PredictCloud(); cloud < bestResp {
+			if cloud <= deadline && ctx.CloudAdmits() {
+				return ToCloud()
+			}
+			return Reject()
+		}
+		if bestResp <= deadline {
+			return ToSite(best)
+		}
+		return Reject()
+	}
+	local := predict(ctx.Origin())
+	if local <= deadline {
+		return Local()
+	}
+	// Predicted SLO miss: pick the fastest alternative, local included —
+	// offloading must actually help. Peer predictions pay both network
+	// legs, which may differ under an asymmetric topology.
+	best, bestResp := -1, local
+	for _, p := range ctx.PeersByRTT() {
+		if resp := predict(p); resp < bestResp {
+			best, bestResp = p, resp
+		}
+	}
+	if ctx.PredictCloud() < bestResp {
+		return ToCloud()
+	}
+	if best >= 0 {
+		return ToSite(best)
+	}
+	return Local()
+}
+
+// grantAwarePlacer is the allocator-aware refinement of model-driven
+// placement (the ROADMAP item): its per-candidate prediction folds the
+// federation-wide fair-share allocator's grants into the estimate in both
+// directions. A peer whose grant pre-provisions capacity that has not
+// finished cold-starting is credited with the granted pool rather than the
+// (smaller) live one, and a grant-bound site — model-computed desire above
+// its grant, so arrivals outpace the capacity it is allowed to keep — has
+// its drain-time term inflated by the demand-to-grant load factor, because
+// its backlog refills as fast as it drains (plain model-driven prices the
+// backlog as if arrivals stopped, which is exactly why it trails on skewed
+// traces). Without global grants it degrades to exactly the model-driven
+// prediction.
+type grantAwarePlacer struct{}
+
+func (grantAwarePlacer) Name() string { return "grant-aware" }
+
+func (grantAwarePlacer) Place(ctx *PlacementContext) Decision {
+	return placePredictive(ctx, func(site int) float64 { return predictGrantAware(ctx, site) })
+}
+
+// predictGrantAware estimates the end-to-end response time (seconds) at a
+// site crediting the global allocator's view: the granted pool when it
+// exceeds the live one (pre-provisioned capacity still cold-starting), and
+// the desire/grant load factor on the drain term when the grant binds.
+func predictGrantAware(ctx *PlacementContext, site int) float64 {
+	if !ctx.Serves(site) {
+		return math.Inf(1)
+	}
+	n := float64(ctx.Containers(site))
+	capacity := ctx.ServiceCapacity(site)
+	load := 1.0
+	if g, ok := ctx.GrantedCPU(site); ok && g > 0 {
+		spec := ctx.Spec()
+		granted := float64(g) / float64(spec.CPUMillis)
+		if grantedCap := granted * spec.ServiceRate(); grantedCap > capacity {
+			n, capacity = granted, grantedCap
+		}
+		if desired := ctx.DesiredCPU(site); desired > g {
+			load = float64(desired) / float64(g)
+		}
+	}
+	if capacity <= 0 {
+		return math.Inf(1)
+	}
+	var extra float64
+	if site != ctx.Origin() {
+		extra = (ctx.RTT(ctx.Origin(), site) + ctx.RTT(site, ctx.Origin())).Seconds()
+	}
+	// The load factor inflates only the backlog-drain term — the backlog
+	// is what keeps refilling at a grant-bound site — never the request's
+	// own service time.
+	return extra + (load*float64(ctx.Backlog(site))+n)/capacity
+}
+
+// costBoundedPlacer prefers the cheapest candidate whose predicted
+// response still meets the SLO: edge capacity is sunk cost (free), while
+// every cloud invocation bills at the configured FaaS price points
+// (CloudCostPerRequest), so the cloud is used only when no edge candidate
+// — origin included — is predicted to make the deadline. When nothing
+// meets the deadline the SLO bound is lost either way: a sheddable
+// request is rejected (§3.4), and a normal one takes the fastest
+// candidate regardless of price, ties to the cheaper.
+type costBoundedPlacer struct{}
+
+func (costBoundedPlacer) Name() string { return "cost-bounded" }
+
+func (costBoundedPlacer) Place(ctx *PlacementContext) Decision {
+	type candidate struct {
+		d    Decision
+		cost float64
+		resp float64
+	}
+	var cands []candidate
+	if !ctx.Sheddable() {
+		cands = append(cands, candidate{Local(), 0, ctx.PredictResponse(ctx.Origin())})
+	}
+	for _, p := range ctx.PeersByRTT() {
+		cands = append(cands, candidate{ToSite(p), 0, ctx.PredictResponse(p)})
+	}
+	if ctx.CloudAdmits() {
+		cands = append(cands, candidate{ToCloud(), ctx.CloudCostPerRequest(), ctx.PredictCloud()})
+	}
+	deadline := ctx.ResponseSLO().Seconds()
+	// Cheapest candidate meeting the SLO, ties to the faster prediction;
+	// PeersByRTT order breaks exact ties deterministically.
+	best := -1
+	for i, c := range cands {
+		if c.resp > deadline {
+			continue
+		}
+		if best < 0 || c.cost < cands[best].cost ||
+			(c.cost == cands[best].cost && c.resp < cands[best].resp) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return cands[best].d
+	}
+	if ctx.Sheddable() {
+		return Reject()
+	}
+	// Nothing makes the deadline: fastest candidate, ties to the cheaper.
+	pick, bestResp, bestCost := Local(), math.Inf(1), 0.0
+	for _, c := range cands {
+		if c.resp < bestResp || (c.resp == bestResp && c.cost < bestCost) {
+			pick, bestResp, bestCost = c.d, c.resp, c.cost
+		}
+	}
+	return pick
+}

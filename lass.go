@@ -17,7 +17,9 @@
 //     on an explicit latency topology (NewFederationTopology, RingTopology,
 //     StarTopology) plus a cloud backend with warm-pool cold starts and
 //     cost accounting, with per-request dynamic offload after Das et al.'s
-//     edge-cloud task placement (2020).
+//     edge-cloud task placement (2020) through a pluggable placement API
+//     (Placer, PlacementContext, RegisterPlacer): six built-in policies
+//     and user-defined ones, selectable by name.
 //
 // # Quick start
 //
@@ -142,8 +144,76 @@ type FederationResult = federation.Result
 // FederationSiteResult is one edge site's view of a federated run.
 type FederationSiteResult = federation.SiteResult
 
+// Placer is the pluggable placement policy of the federation: every
+// ingress request is handed to the configured Placer as a
+// PlacementContext, and the returned Decision serves it locally, at a peer
+// site, in the cloud, or rejects it (§3.4 admission). Implement Name and
+// Place, register with RegisterPlacer, and the policy becomes selectable
+// by name everywhere a built-in is — FederationConfig.Placer, the
+// experiment sweeps, and lass-sim -policy — without touching the
+// federation internals.
+type Placer = federation.Placer
+
+// PlacementContext exposes everything the federation knows about one
+// arriving request to the placement policy. Request state: Function /
+// Spec (the Table 1 catalog entry), ResponseSLO (the end-to-end deadline,
+// network included), Origin (the ingress site index), and Sheddable
+// (whether §3.4 offload-aware admission applies — a sheddable request is
+// never queued at its overloaded origin). Per-candidate signals, indexed
+// by site: PredictResponse (the §3.1 queueing model's backlog-drain
+// estimate plus both network legs), RTT (the topology's one-way latency
+// matrix), Overloaded / Accepts (the epoch-level overload and absorption
+// signals), Headroom (controller capacity headroom, §3.3), QueueLength /
+// Backlog / Containers / IdleContainers / ServiceCapacity (live pool
+// state), and GrantedCPU / DesiredCPU / GloballyAllocated (the
+// federation-wide §4.1 fair-share allocator's grants versus the model's
+// desires, including granted-but-cold pre-provisioned pools). Cloud
+// state: PredictCloud (response including cold start and the queue at the
+// concurrency cap), CloudAdmits (throttle headroom), and
+// CloudCostPerRequest (the invocation + GB-second price). SelectPeer and
+// PeersByRTT run the configured peer-selection strategy and the
+// deterministic RTT-ordered scan.
+type PlacementContext = federation.PlacementContext
+
+// PlacementDecision is a Placer's verdict for one request.
+type PlacementDecision = federation.Decision
+
+// PlaceLocal serves the request at its ingress site.
+func PlaceLocal() PlacementDecision { return federation.Local() }
+
+// PlaceAtSite offloads the request to the edge site with the given index.
+func PlaceAtSite(site int) PlacementDecision { return federation.ToSite(site) }
+
+// PlaceInCloud offloads the request to the cloud backend.
+func PlaceInCloud() PlacementDecision { return federation.ToCloud() }
+
+// PlaceReject drops the request at admission (§3.4); it stays an SLO
+// violation at its origin.
+func PlaceReject() PlacementDecision { return federation.Reject() }
+
+// RegisterPlacer adds a custom placement policy to the name-keyed
+// registry. Registered placers are selectable via PlacerByName,
+// FederationConfig.Placer, and every federation sweep (one row set per
+// registered policy, lass-sim -policy included).
+func RegisterPlacer(p Placer) error { return federation.RegisterPlacer(p) }
+
+// PlacerByName returns the registered placement policy with the given
+// (case-insensitive) name: the built-ins "never", "cloud-only",
+// "nearest-peer", "model-driven", "grant-aware", "cost-bounded", or any
+// custom policy added with RegisterPlacer.
+func PlacerByName(name string) (Placer, error) { return federation.PlacerByName(name) }
+
+// PlacerNames returns every registered placement policy name in
+// registration order (built-ins first, in sweep order).
+func PlacerNames() []string { return federation.PlacerNames() }
+
 // OffloadPolicy selects how each site's ingress places requests: serve
 // locally, offload to a peer edge site, or fall back to the cloud.
+//
+// Deprecated: the enum is a thin shim over the placer registry — each
+// value resolves to the built-in Placer of the same name. Use
+// FederationConfig.Placer / PlacerByName, which also reach the policies
+// the enum cannot name (grant-aware, cost-bounded, custom placers).
 type OffloadPolicy = federation.Policy
 
 // Offload policies.
@@ -190,6 +260,9 @@ func NewFederation(cfg FederationConfig) (*Federation, error) {
 
 // ParseOffloadPolicy returns the offload policy named by s
 // ("never", "cloud-only", "nearest-peer", "model-driven").
+//
+// Deprecated: ParseOffloadPolicy only knows the four legacy enum values;
+// use PlacerByName, which resolves every registered policy.
 func ParseOffloadPolicy(s string) (OffloadPolicy, error) {
 	return federation.ParsePolicy(s)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"lass/internal/cluster"
 	"lass/internal/controller"
 	"lass/internal/experiments"
+	"lass/internal/federation"
 )
 
 func TestPublicAPISimulation(t *testing.T) {
@@ -181,7 +183,8 @@ func TestPublicAPIGlobalAllocation(t *testing.T) {
 
 // TestFederationBaselineColumns guards the committed BENCH_federation.json
 // against silently going stale: it must carry every column the federation
-// sweep produces (regenerate with
+// sweep produces and an aggregate row for every built-in placement policy
+// (regenerate with
 // go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json).
 // BenchmarkFederationSweep asserts the same invariant for the CI bench
 // smoke step, which runs no plain tests.
@@ -200,5 +203,115 @@ func TestFederationBaselineColumns(t *testing.T) {
 	}
 	for _, h := range missing {
 		t.Errorf("BENCH_federation.json baseline missing column %q — regenerate it", h)
+	}
+	// One aggregate row per built-in policy: a placer added to the
+	// registry without regenerating the baseline would otherwise drift
+	// unguarded.
+	stale, err := experiments.MissingBaselinePolicies(raw, federation.BuiltinPlacerNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stale {
+		t.Errorf("BENCH_federation.json baseline missing policy %q — regenerate it", p)
+	}
+}
+
+// slowPeerPlacer is the README's example custom policy: offload overload
+// to whichever peer currently has the most idle containers, cloud never.
+type slowPeerPlacer struct{}
+
+func (slowPeerPlacer) Name() string { return "most-idle-peer" }
+
+func (slowPeerPlacer) Place(ctx *lass.PlacementContext) lass.PlacementDecision {
+	if !ctx.Overloaded(ctx.Origin()) {
+		return lass.PlaceLocal()
+	}
+	best, idle := -1, 0
+	for _, p := range ctx.PeersByRTT() {
+		if n := ctx.IdleContainers(p); n > idle {
+			best, idle = p, n
+		}
+	}
+	if best >= 0 {
+		return lass.PlaceAtSite(best)
+	}
+	return lass.PlaceLocal()
+}
+
+// TestPublicAPICustomPlacer registers a placement policy through the
+// public surface and selects it by name end to end — federation config
+// resolution, the experiment registry (the path behind lass-sim
+// -policy <name>), and the run's result labelling — without touching
+// internal/federation.
+func TestPublicAPICustomPlacer(t *testing.T) {
+	// Tolerate re-registration: the registry is process-global, so a
+	// second in-process run (go test -count=N) already has the placer.
+	if err := lass.RegisterPlacer(slowPeerPlacer{}); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range lass.PlacerNames() {
+		if name == "most-idle-peer" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered placer missing from PlacerNames: %v", lass.PlacerNames())
+	}
+	placer, err := lass.PlacerByName("most-idle-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec, err := lass.FunctionByName("squeezenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := func(rate float64, seed uint64, nodes int) lass.SimulationConfig {
+		wl, err := lass.StaticWorkload(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lass.SimulationConfig{
+			Cluster:    lass.ClusterConfig{Nodes: nodes, CPUPerNode: 1000, MemPerNode: 2048},
+			Controller: controller.Config{MinContainers: 1},
+			Seed:       seed,
+			Functions:  []lass.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+		}
+	}
+	fed, err := lass.NewFederation(lass.FederationConfig{
+		Sites:  []lass.SimulationConfig{site(60, 1, 1), site(2, 2, 8), site(2, 3, 8)},
+		Placer: placer,
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Run(2 * time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placer != "most-idle-peer" {
+		t.Errorf("result labelled %q, want most-idle-peer", res.Placer)
+	}
+	if res.Sites[0].OffloadedPeer == 0 {
+		t.Errorf("custom placer shed nothing from the overloaded site: %+v", res.Sites[0])
+	}
+	if res.Sites[0].OffloadedCloud != 0 {
+		t.Errorf("most-idle-peer used the cloud: %+v", res.Sites[0])
+	}
+
+	// The experiment registry resolves the same name — the exact path
+	// lass-sim -federation -policy most-idle-peer takes.
+	tab, err := experiments.Run("federation", experiments.Options{
+		Seed: 1, Quick: true, Fed: experiments.FedOptions{Policy: "most-idle-peer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		if row[0] != "most-idle-peer" {
+			t.Fatalf("sweep row policy %q, want most-idle-peer only", row[0])
+		}
 	}
 }
