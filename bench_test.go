@@ -98,32 +98,38 @@ func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
 
 // checkBaselineColumns fails the bench (and so the CI bench smoke step,
 // which runs no plain tests) when the committed BENCH_federation.json
-// baseline is missing columns the sweep now produces, or an aggregate row
-// for a registered built-in placement policy — a stale baseline used to
-// pass silently. TestFederationBaselineColumns guards the same invariants
-// for plain `go test` runs.
+// baseline is missing columns the sweep now produces, an aggregate row
+// for a registered built-in placement policy, or the coordinator sweep's
+// election/outage/lease scenario rows — a stale baseline used to pass
+// silently. TestFederationBaselineColumns guards the same invariants for
+// plain `go test` runs.
 func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	b.Helper()
+	const regen = "go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json"
 	raw, err := os.ReadFile("BENCH_federation.json")
 	if err != nil {
-		b.Fatalf("committed baseline unreadable: %v (regenerate with "+
-			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json)", err)
+		b.Fatalf("committed baseline unreadable: %v (regenerate with %s)", err, regen)
 	}
 	missing, err := experiments.MissingBaselineColumns(raw, tab)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if len(missing) > 0 {
-		b.Fatalf("BENCH_federation.json baseline is missing columns %v; regenerate with "+
-			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json", missing)
+		b.Fatalf("BENCH_federation.json baseline is missing columns %v; regenerate with %s", missing, regen)
 	}
 	stale, err := experiments.MissingBaselinePolicies(raw, federation.BuiltinPlacerNames)
 	if err != nil {
 		b.Fatal(err)
 	}
 	if len(stale) > 0 {
-		b.Fatalf("BENCH_federation.json baseline is missing policies %v; regenerate with "+
-			"go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json", stale)
+		b.Fatalf("BENCH_federation.json baseline is missing policies %v; regenerate with %s", stale, regen)
+	}
+	scenarios, err := experiments.MissingCoordinatorScenarios(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(scenarios) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing coordinator scenarios %v; regenerate with %s", scenarios, regen)
 	}
 }
 
@@ -185,6 +191,19 @@ func BenchmarkFederationFairShare(b *testing.B) {
 	global, err2 := rate("global")
 	if err1 == nil && err2 == nil && local > 0 {
 		b.ReportMetric((local-global)/local, "global-violation-cut-frac")
+	}
+}
+
+// BenchmarkFederationCoordinator runs the coordinator election / outage /
+// grant-lease sweep (whose invariants are hard-asserted inside the
+// harness) and reports how much RTT-centroid election cuts the mean
+// grant-delivery delay versus the fixed far-spoke placement.
+func BenchmarkFederationCoordinator(b *testing.B) {
+	tab := runExperiment(b, "federation-coordinator")
+	if cut, err := experiments.CoordinatorDelayCut(tab); err == nil {
+		b.ReportMetric(cut, "centroid-delay-cut-frac")
+	} else {
+		b.Fatal(err)
 	}
 }
 

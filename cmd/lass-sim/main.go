@@ -11,10 +11,12 @@
 //	lass-sim -federation -out federation.csv               # offload sweep
 //	lass-sim -federation -fed-trace -topology star         # trace-driven, star topology
 //	lass-sim -federation -global-fairshare -admission      # federation-wide §4.1 allocator
+//	lass-sim -federation -global-fairshare -coordinator centroid  # RTT-centroid coordinator
 //	lass-sim -federation -fed-fairshare                    # local-vs-global allocation sweep
 //	lass-sim -federation -fed-placers                      # every registered placement policy
+//	lass-sim -federation -fed-coordinator                  # coordinator election/outage/lease sweep
 //	lass-sim -federation -policy grant-aware               # one placement policy only
-//	lass-sim -federation -quick -json BENCH_federation.json
+//	lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 //
 // With -federation the command runs the multi-cluster edge–cloud offload
 // experiment instead: three edge sites plus a cloud backend with warm-pool
@@ -29,8 +31,13 @@
 // federation-wide (global) fair-share allocation on a skewed-load scenario
 // instead; -fed-placers sweeps every registered policy on the skewed
 // traces with global fair share, admission, and a throttled cloud all on;
-// -global-fairshare / -alloc-epoch run any sweep under the global
-// allocator; -admission turns on offload-aware §3.4 admission control;
+// -fed-coordinator sweeps coordinator election (fixed vs RTT-centroid),
+// outage windows, and grant leases on an asymmetric star; -fed-bench runs
+// the offload-policy and coordinator sweeps back to back — the source of
+// the committed BENCH_federation.json baseline;
+// -global-fairshare / -alloc-epoch / -coordinator run any sweep under the
+// global allocator (fixed or centroid-elected coordinator placement);
+// -admission turns on offload-aware §3.4 admission control;
 // -offered-load keeps origins estimating demand from offered load under
 // per-site-local allocation; -peer-select picks nearest-first or
 // power-of-two-choices shedding; -cloud-max-concurrency caps concurrent
@@ -73,8 +80,11 @@ func main() {
 		fedTrace   = flag.Bool("fed-trace", false, "with -federation: drive each site from its own Azure-format trace row")
 		fedFair    = flag.Bool("fed-fairshare", false, "with -federation: sweep local vs global allocation on the skewed-load scenario instead")
 		fedPlace   = flag.Bool("fed-placers", false, "with -federation: sweep every registered placement policy on the skewed-trace scenario (global fair share + admission + throttled cloud)")
+		fedCoord   = flag.Bool("fed-coordinator", false, "with -federation: sweep coordinator election, outages, and grant leases on the asymmetric-star scenario")
+		fedBench   = flag.Bool("fed-bench", false, "with -federation: run the bench baseline (offload-policy sweep + coordinator sweep, the BENCH_federation.json source)")
 		globalFS   = flag.Bool("global-fairshare", false, "with -federation: run the sweep under the federation-wide fair-share allocator")
 		allocEpoch = flag.Duration("alloc-epoch", 0, "with -federation -global-fairshare: global allocation epoch (0 = default 5s)")
+		coord      = flag.String("coordinator", "", "with -federation -global-fairshare: coordinator election (fixed|centroid; default fixed at site 0)")
 		admission  = flag.Bool("admission", false, "with -federation: offload-aware §3.4 admission control (reject only when no site's grant has headroom)")
 		offered    = flag.Bool("offered-load", false, "with -federation: estimate demand from offered load at every ingress (ControllerConfig.OfferedLoadDemand) even under per-site-local allocation")
 		peerSel    = flag.String("peer-select", "nearest", "with -federation: shed-target peer selection (nearest|p2c)")
@@ -93,10 +103,12 @@ func main() {
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
 	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "fed-placers": true,
+		"fed-coordinator": true, "fed-bench": true,
 		"topology":   true,
 		"cloud-warm": true, "cloud-always-warm": true, "cloud-price-invocation": true,
 		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
-		"admission": true, "offered-load": true, "peer-select": true,
+		"coordinator": true,
+		"admission":   true, "offered-load": true, "peer-select": true,
 		"cloud-max-concurrency": true,
 		"out":                   true, "json": true, "quick": true}
 
@@ -130,14 +142,14 @@ func main() {
 		id := "federation"
 		tracePath := ""
 		modes := 0
-		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace} {
+		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace, *fedCoord, *fedBench} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fail(fmt.Errorf("-fed-trace, -fed-fairshare and -fed-placers are mutually exclusive"))
+			fail(fmt.Errorf("-fed-trace, -fed-fairshare, -fed-placers, -fed-coordinator and -fed-bench are mutually exclusive"))
 		case *fedTrace:
 			id = "federation-trace"
 			tracePath = *trace
@@ -145,6 +157,10 @@ func main() {
 			id = "federation-fairshare"
 		case *fedPlace:
 			id = "federation-placers"
+		case *fedCoord:
+			id = "federation-coordinator"
+		case *fedBench:
+			id = "federation-bench"
 		}
 		runFederation(id, experiments.Options{
 			Seed:  *seed,
@@ -159,6 +175,7 @@ func main() {
 				CloudPricePerGBSecond:   *priceGBs,
 				GlobalFairShare:         *globalFS,
 				AllocEpoch:              *allocEpoch,
+				Coordinator:             *coord,
 				Admission:               *admission,
 				OfferedLoad:             *offered,
 				PeerSelection:           *peerSel,

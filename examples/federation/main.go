@@ -8,7 +8,10 @@
 // requests were served, the cloud cold starts and dollars each policy
 // paid, and the end-to-end SLO violation rate, network RTT included.
 // Registering a custom lass.Placer before the loop would add it to the
-// comparison automatically.
+// comparison automatically. A closing section reruns the scenario under
+// the federation-wide fair-share allocator with an elected,
+// failure-prone coordinator: RTT-centroid election, a mid-run outage
+// window, and grant leases versus the frozen-grants legacy.
 package main
 
 import (
@@ -91,4 +94,66 @@ func main() {
 				s.PeerServed, s.CloudColdStarts, s.CloudCost, 100*s.ViolationRate())
 		}
 	}
+	coordinatorDemo()
+}
+
+// coordinatorDemo reruns the scenario under the federation-wide §4.1
+// allocator with the coordinator treated as a first-class, failure-prone
+// role: RTT-centroid election seats it at the best-connected site (the
+// hub, here), a mid-run outage window takes it dark across the burst, and
+// the default grant lease (2× the allocation epoch) lets every site fall
+// back to local enforcement instead of freezing on its stale pre-burst
+// grants. The federation-coordinator experiment (lass-sim -federation
+// -fed-coordinator) runs the stressed version of this comparison — an
+// asymmetric star with a throttled cloud — where lease fallback measurably
+// cuts the outage-window violation spike versus frozen grants.
+func coordinatorDemo() {
+	fmt.Printf("\nglobal fair share with an elected, failure-prone coordinator:\n")
+	fmt.Printf("%-22s %-12s %8s %8s %10s %12s %11s\n",
+		"variant", "coordinator", "epochs", "missed", "lease-exp", "grant-delay", "violations")
+	run := func(label string, election lass.CoordinatorElection, outages []lass.OutageWindow, lease time.Duration) {
+		cfgs, err := sites()
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo, err := lass.StarTopology(len(cfgs), 3*time.Millisecond)
+		if err != nil {
+			log.Fatal(err)
+		}
+		placer, err := lass.PlacerByName("model-driven")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fed, err := lass.NewFederation(lass.FederationConfig{
+			Sites:               cfgs,
+			Placer:              placer,
+			Topology:            topo,
+			GlobalFairShare:     true,
+			CoordinatorElection: election,
+			CoordinatorOutages:  outages,
+			GrantLease:          lease,
+			Seed:                1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := fed.Run(9 * time.Minute)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var violated, total uint64
+		for _, s := range res.Sites {
+			violated += s.Violations()
+			total += s.SLO.Total() + s.Unresolved
+		}
+		fmt.Printf("%-22s %-12s %8d %8d %10d %12v %10.1f%%\n",
+			label, fmt.Sprintf("%s@%d", res.Election, res.Coordinator),
+			res.AllocEpochs, res.MissedAllocEpochs, res.GrantLeaseExpirations,
+			res.MeanGrantDelay, 100*float64(violated)/float64(total))
+	}
+	// The burst hits edge-0 during minutes 3-6; the outage covers it.
+	outage := []lass.OutageWindow{{Start: 150 * time.Second, End: 6 * time.Minute}}
+	run("centroid, healthy", lass.CoordinatorRTTCentroid, nil, 0)
+	run("centroid, outage", lass.CoordinatorRTTCentroid, outage, 0)
+	run("outage, frozen grants", lass.CoordinatorRTTCentroid, outage, -1)
 }

@@ -208,6 +208,9 @@ type Stats struct {
 	Drains       uint64
 	Overloads    uint64 // Steps that ran the fair-share path
 	Steps        uint64
+	// GrantLeaseExpiries counts grant leases that lapsed without renewal,
+	// each dropping the controller back to local enforcement.
+	GrantLeaseExpiries uint64
 }
 
 // Controller is the LaSS control plane for one edge cluster.
@@ -222,6 +225,9 @@ type Controller struct {
 	stats    Stats
 	headroom int64            // capacity minus model-desired CPU, from the last Step
 	grants   map[string]int64 // externally-imposed CPU grants (nil = local allocation)
+	// grantDeadline is when the current grant lease lapses (0 = no lease:
+	// grants stay valid until explicitly replaced or cleared).
+	grantDeadline time.Duration
 }
 
 // New builds a controller for the cluster.
@@ -454,8 +460,15 @@ type FunctionDemand struct {
 
 // Demands returns the per-function demand estimates from the most recent
 // Step (model-desired CPU, fair-share weight, namespace), in registration
-// order. Before the first Step every desire is zero. The federation-level
-// global allocator gathers these from every site's controller each epoch.
+// order. Every desire is floored at MinContainers' worth of CPU, and —
+// until the first Step has produced a real estimate — at the function's
+// current live pool CPU: a controller has no demand history at bootstrap,
+// and an allocator reading it then (e.g. a global epoch firing at t≈0)
+// must see the provisioned (prewarmed) capacity, not an artificial zero
+// it would turn into a pool-killing zero grant. After the first Step both
+// floors are no-ops for sizing-governed pools, so scale-down is
+// unimpeded. The federation-level global allocator gathers these from
+// every site's controller each epoch.
 func (ctl *Controller) Demands() []FunctionDemand {
 	out := make([]FunctionDemand, 0, len(ctl.order))
 	for _, name := range ctl.order {
@@ -466,12 +479,21 @@ func (ctl *Controller) Demands() []FunctionDemand {
 				uw = w
 			}
 		}
+		desired := int64(f.Desired) * f.Spec.CPUMillis
+		if min := int64(ctl.cfg.MinContainers) * f.Spec.CPUMillis; desired < min {
+			desired = min
+		}
+		if ctl.stats.Steps == 0 {
+			if live := liveCPU(ctl.liveContainers(name)); desired < live {
+				desired = live
+			}
+		}
 		out = append(out, FunctionDemand{
 			Name:       name,
 			User:       f.User,
 			Weight:     f.Weight,
 			UserWeight: uw,
-			DesiredCPU: int64(f.Desired) * f.Spec.CPUMillis,
+			DesiredCPU: desired,
 		})
 	}
 	return out
@@ -480,15 +502,29 @@ func (ctl *Controller) Demands() []FunctionDemand {
 // Capacity returns the cluster's total CPU capacity in millicores.
 func (ctl *Controller) Capacity() int64 { return ctl.cluster.TotalCPU() }
 
-// SetCapacityGrants imposes externally-computed per-function CPU grants:
-// subsequent Steps enforce each function toward its grant instead of
-// computing shares from local cluster capacity (the federation-level
-// global fair-share path). A function absent from the map keeps its
-// model-computed desire; a nil map restores local allocation. The map is
-// copied.
+// SetCapacityGrants imposes externally-computed per-function CPU grants
+// with no lease: they stay valid until replaced or cleared — the
+// freeze-on-stale legacy behaviour. Subsequent Steps enforce each function
+// toward its grant instead of computing shares from local cluster capacity
+// (the federation-level global fair-share path). A function absent from
+// the map keeps its model-computed desire; a nil map restores local
+// allocation. The map is copied.
 func (ctl *Controller) SetCapacityGrants(grants map[string]int64) {
+	ctl.SetCapacityGrantsLeased(grants, 0)
+}
+
+// SetCapacityGrantsLeased imposes externally-computed per-function CPU
+// grants valid for lease from now. When the lease lapses without a renewal
+// (another SetCapacityGrants* call), the controller falls back to local
+// enforcement instead of freezing on stale grants forever: the next Step —
+// or an explicit ExpireGrantLease call, which the federation schedules on
+// its shared engine at the expiry instant — drops the grants. A
+// non-positive lease means no expiry (the SetCapacityGrants behaviour);
+// a nil map restores local allocation immediately.
+func (ctl *Controller) SetCapacityGrantsLeased(grants map[string]int64, lease time.Duration) {
 	if grants == nil {
 		ctl.grants = nil
+		ctl.grantDeadline = 0
 		return
 	}
 	g := make(map[string]int64, len(grants))
@@ -496,6 +532,27 @@ func (ctl *Controller) SetCapacityGrants(grants map[string]int64) {
 		g[k] = v
 	}
 	ctl.grants = g
+	if lease > 0 {
+		ctl.grantDeadline = ctl.hooks.Now() + lease
+	} else {
+		ctl.grantDeadline = 0
+	}
+}
+
+// ExpireGrantLease drops the externally-imposed grants if their lease has
+// lapsed, restoring local enforcement, and reports whether it did. A
+// controller with no grants, no lease, or an unexpired lease is untouched.
+// The federation calls this from an engine event at the lease deadline so
+// the fallback is visible to the placement layer the instant the lease
+// runs out; Step also checks, so standalone hosts need no extra wiring.
+func (ctl *Controller) ExpireGrantLease() bool {
+	if ctl.grants == nil || ctl.grantDeadline == 0 || ctl.hooks.Now() < ctl.grantDeadline {
+		return false
+	}
+	ctl.grants = nil
+	ctl.grantDeadline = 0
+	ctl.stats.GrantLeaseExpiries++
+	return true
 }
 
 // GrantedExternally reports whether an external allocator currently
@@ -523,6 +580,7 @@ func (ctl *Controller) Step() error {
 	if err != nil {
 		return err
 	}
+	ctl.ExpireGrantLease()
 	if ctl.grants != nil {
 		return ctl.enforceGrants(demands)
 	}
@@ -633,26 +691,16 @@ func (ctl *Controller) enforceLocal(demands []fairshare.Demand) error {
 	return nil
 }
 
-// enforceGrants reconciles every function toward its externally-imposed
-// CPU grant instead of computing shares from local capacity. A grant below
-// the model desire is binding (overload semantics: immediate reclamation,
-// then growth into the grant); a grant at or above the desire reconciles
-// normally, growing past the model count when the grant pre-provisions
-// capacity for offloaded work the global allocator expects to arrive. An
-// infeasible grant set (summing beyond cluster capacity) is first scaled
+// grantTargets computes the per-function CPU targets the external-grant
+// path enforces: each granted function's target is its grant (the model
+// desire where no grant exists), floored at MinContainers' worth of CPU —
+// an external allocator's snapshot is at least an epoch and a round trip
+// stale, and may predate this site's first demand report entirely, so a
+// stale or zero grant must not shrink a pool below the configured minimum.
+// An infeasible target set (summing beyond cluster capacity) is scaled
 // down by one local capped adjustment, so enforcement never tries to place
 // more CPU than physically exists.
-func (ctl *Controller) enforceGrants(demands []fairshare.Demand) error {
-	now := ctl.hooks.Now()
-	var totalDesired int64
-	for _, d := range demands {
-		totalDesired += d.Desired
-	}
-	ctl.expireDrained(now)
-
-	capacity := ctl.cluster.TotalCPU()
-	ctl.headroom = capacity - totalDesired
-
+func (ctl *Controller) grantTargets(demands []fairshare.Demand, capacity int64) (map[string]int64, error) {
 	targets := make(map[string]int64, len(demands))
 	var totalTarget int64
 	for _, d := range demands {
@@ -662,6 +710,11 @@ func (ctl *Controller) enforceGrants(demands []fairshare.Demand) error {
 		}
 		if t < 0 {
 			t = 0
+		}
+		if f := ctl.funcs[d.ID]; f != nil {
+			if min := int64(ctl.cfg.MinContainers) * f.Spec.CPUMillis; t < min {
+				t = min
+			}
 		}
 		targets[d.ID] = t
 		totalTarget += t
@@ -673,11 +726,37 @@ func (ctl *Controller) enforceGrants(demands []fairshare.Demand) error {
 		}
 		allocs, err := fairshare.AdjustCapped(feasible, capacity)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		for _, a := range allocs {
 			targets[a.ID] = a.Adjusted
 		}
+	}
+	return targets, nil
+}
+
+// enforceGrants reconciles every function toward its externally-imposed
+// CPU grant instead of computing shares from local capacity: it computes
+// the feasible per-function targets (grantTargets) and then reconciles
+// each pool. A grant below the model desire is binding (overload
+// semantics: immediate reclamation, then growth into the grant); a grant
+// at or above the desire reconciles normally, growing past the model
+// count when the grant pre-provisions capacity for offloaded work the
+// global allocator expects to arrive.
+func (ctl *Controller) enforceGrants(demands []fairshare.Demand) error {
+	now := ctl.hooks.Now()
+	var totalDesired int64
+	for _, d := range demands {
+		totalDesired += d.Desired
+	}
+	ctl.expireDrained(now)
+
+	capacity := ctl.cluster.TotalCPU()
+	ctl.headroom = capacity - totalDesired
+
+	targets, err := ctl.grantTargets(demands, capacity)
+	if err != nil {
+		return err
 	}
 	bound := false
 	for _, d := range demands {

@@ -660,3 +660,92 @@ func TestExternalGrantsKeepHeadroomSignal(t *testing.T) {
 		t.Error("offered 800 req/s: demand-derived headroom should be negative under grants too")
 	}
 }
+
+// TestGrantLeaseExpiryRestoresLocalPath is the controller-level lease
+// test, built on the same harness the PR 3 external-grant equivalence
+// tests use: a binding grant with a finite lease shrinks the pool, the
+// lease lapses without renewal, and from that Step on the controller is
+// bit-for-bit the local-enforcement controller again — same
+// GrantedExternally signal, same live pool, same headroom as a twin
+// controller that was never granted, fed identical arrivals.
+func TestGrantLeaseExpiryRestoresLocalPath(t *testing.T) {
+	spec := mustSpec(t, "squeezenet")
+	mk := func() *harness {
+		h := newHarness(t, Config{}, cluster.PaperCluster())
+		if _, err := h.ctl.Register(spec, "", 1, queuing.SLO{}); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	granted, local := mk(), mk()
+
+	// Epoch 1: identical load; the granted twin gets a binding 2000 mC
+	// grant leased for 4s — lapsing before the next 5s epoch.
+	for _, h := range []*harness{granted, local} {
+		h.offer(spec.Name, 40, 5*time.Second)
+	}
+	granted.ctl.SetCapacityGrantsLeased(map[string]int64{spec.Name: 2000}, 4*time.Second)
+	for _, h := range []*harness{granted, local} {
+		h.step()
+	}
+	if !granted.ctl.GrantedExternally() {
+		t.Fatal("lease not yet expired but GrantedExternally is false")
+	}
+	if cpu := liveCPU(liveOf(granted.cl, spec.Name)); cpu > 2000 {
+		t.Fatalf("binding leased grant not enforced: %d mC live", cpu)
+	}
+	if cpuL := liveCPU(liveOf(local.cl, spec.Name)); cpuL <= 2000 {
+		t.Fatalf("local twin unexpectedly small (%d mC); the grant was not binding", cpuL)
+	}
+
+	// Epoch 2: both clocks pass the t=9s deadline with no renewal. The
+	// next Step must expire the lease and enforce locally.
+	for _, h := range []*harness{granted, local} {
+		h.offer(spec.Name, 40, 5*time.Second)
+		h.step()
+	}
+	if granted.ctl.GrantedExternally() {
+		t.Error("GrantedExternally still true after the lease lapsed")
+	}
+	if got := granted.ctl.Stats().GrantLeaseExpiries; got != 1 {
+		t.Errorf("GrantLeaseExpiries = %d, want 1", got)
+	}
+	// Bit-for-bit the local path again: identical estimator state implies
+	// identical desires, and post-expiry enforcement must rebuild the
+	// identical live pool.
+	gf, _ := granted.ctl.Function(spec.Name)
+	lf, _ := local.ctl.Function(spec.Name)
+	if gf.Desired != lf.Desired || gf.LambdaHat != lf.LambdaHat {
+		t.Errorf("post-expiry model state diverged: desired %d/%d lambda %v/%v",
+			gf.Desired, lf.Desired, gf.LambdaHat, lf.LambdaHat)
+	}
+	if g, l := liveCPU(liveOf(granted.cl, spec.Name)), liveCPU(liveOf(local.cl, spec.Name)); g != l {
+		t.Errorf("post-expiry live pool %d mC != never-granted twin %d mC", g, l)
+	}
+	if g, l := granted.ctl.Headroom(), local.ctl.Headroom(); g != l {
+		t.Errorf("post-expiry headroom %d != never-granted twin %d", g, l)
+	}
+
+	// A renewal before the deadline keeps the lease alive: the expiry
+	// check is against the latest deadline, not the first.
+	h := mk()
+	h.offer(spec.Name, 40, 5*time.Second)
+	h.ctl.SetCapacityGrantsLeased(map[string]int64{spec.Name: 2000}, 4*time.Second)
+	h.step()
+	h.now += 3 * time.Second
+	h.ctl.SetCapacityGrantsLeased(map[string]int64{spec.Name: 2000}, 4*time.Second)
+	if h.ctl.ExpireGrantLease() {
+		t.Error("ExpireGrantLease dropped a just-renewed lease")
+	}
+	h.now += 3 * time.Second // past the first deadline, inside the renewed one
+	if h.ctl.ExpireGrantLease() {
+		t.Error("ExpireGrantLease honoured the stale first deadline over the renewal")
+	}
+	h.now += 2 * time.Second // past the renewed deadline
+	if !h.ctl.ExpireGrantLease() {
+		t.Error("ExpireGrantLease kept a lapsed renewed lease")
+	}
+	if h.ctl.GrantedExternally() {
+		t.Error("grants survived an explicit expiry")
+	}
+}

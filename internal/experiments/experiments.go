@@ -109,6 +109,10 @@ type FedOptions struct {
 	// its period (zero keeps the 5s default).
 	GlobalFairShare bool
 	AllocEpoch      time.Duration
+	// Coordinator selects how the global allocator's coordinator site is
+	// placed: "" or "fixed" (site 0, the historical behaviour) or
+	// "centroid" (the topology's weighted RTT centroid).
+	Coordinator string
 	// Admission turns on offload-aware §3.4 admission control.
 	Admission bool
 	// OfferedLoad sets ControllerConfig.OfferedLoadDemand on every site,

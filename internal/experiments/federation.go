@@ -3,6 +3,7 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"lass/internal/cluster"
@@ -107,6 +108,16 @@ func federationConfig(opt Options, sites []core.Config, placer federation.Placer
 		}
 		cfg.PeerSelection = ps
 	}
+	switch opt.Fed.Coordinator {
+	case "":
+		// Fixed at site 0, the historical default.
+	default:
+		el, err := federation.ParseCoordinatorElection(opt.Fed.Coordinator)
+		if err != nil {
+			return federation.Config{}, err
+		}
+		cfg.CoordinatorElection = el
+	}
 	switch opt.Fed.Topology {
 	case "", "ring":
 		// nil Topology → federation builds Ring(len(sites), PeerRTT).
@@ -122,15 +133,27 @@ func federationConfig(opt Options, sites []core.Config, placer federation.Placer
 	return cfg, nil
 }
 
-// federationSweepHeader is shared by the synthetic, trace-driven, and
-// fair-share sweeps; the violation rate stays the last column so
-// downstream tooling can key on it. The stranded-capacity and
-// cross-site-drift columns are federation-level allocator measurements,
-// reported on the aggregate row (blank per site; zero under per-site
-// -local allocation).
+// federationSweepHeader is shared by the synthetic, trace-driven,
+// fair-share, and coordinator sweeps; the violation rate stays the last
+// column so downstream tooling can key on it. The stranded-capacity,
+// cross-site-drift, coordinator, missed-epoch, lease-expiry, and
+// grant-delay columns are federation-level allocator measurements,
+// reported on the aggregate row (blank per site; "-"/zero under
+// per-site-local allocation).
 var federationSweepHeader = []string{"policy", "alloc", "site", "arrivals", "local", "to-peer",
 	"to-cloud", "rejected", "cloud-cold", "cloud-cost-$", "stranded-mC", "drift-mC",
+	"coordinator", "missed-epochs", "lease-exp", "grant-delay-ms",
 	"p95 resp ms", "violation rate"}
+
+// coordinatorLabel names the aggregate row's coordinator column: the
+// election mode and the elected site index, or "-" under per-site-local
+// allocation (no coordinator exists).
+func coordinatorLabel(res *federation.Result) string {
+	if !res.GlobalFairShare {
+		return "-"
+	}
+	return fmt.Sprintf("%s@%d", res.Election, res.Coordinator)
+}
 
 // allocLabel names the allocation mode column value.
 func allocLabel(global bool) string {
@@ -172,7 +195,7 @@ func addFederationRows(t *Table, res *federation.Result) {
 			fmt.Sprintf("%d", s.Rejected),
 			fmt.Sprintf("%d", s.CloudColdStarts),
 			fmt.Sprintf("%.6f", s.CloudCost),
-			"", "",
+			"", "", "", "", "", "",
 			msF(s.Responses.Quantile(0.95)),
 			fmt.Sprintf("%.4f", s.ViolationRate()))
 	}
@@ -186,26 +209,52 @@ func addFederationRows(t *Table, res *federation.Result) {
 		fmt.Sprintf("%.6f", cost),
 		fmt.Sprintf("%.0f", res.MeanStrandedCPU),
 		fmt.Sprintf("%.0f", res.MeanAllocDriftCPU),
+		coordinatorLabel(res),
+		fmt.Sprintf("%d", res.MissedAllocEpochs),
+		fmt.Sprintf("%d", res.GrantLeaseExpirations),
+		ms(res.MeanGrantDelay),
 		"",
 		fmt.Sprintf("%.4f", violationRate(violated, total)))
 }
 
-// MissingBaselineColumns compares a committed sweep-baseline JSON (the
-// Table serialization, e.g. BENCH_federation.json) against the columns a
-// table now produces and returns the columns the baseline lacks — the
-// staleness signal both the test suite and the bench smoke step fail on.
-func MissingBaselineColumns(baselineJSON []byte, tab *Table) ([]string, error) {
-	var baseline struct{ Header []string }
+// baselineTable is the slice of the committed sweep-baseline JSON (the
+// Table serialization, e.g. BENCH_federation.json) the CI staleness
+// guards consume.
+type baselineTable struct {
+	Header []string
+	Rows   [][]string
+}
+
+func parseBaseline(baselineJSON []byte) (*baselineTable, error) {
+	var baseline baselineTable
 	if err := json.Unmarshal(baselineJSON, &baseline); err != nil {
 		return nil, fmt.Errorf("experiments: unparsable baseline: %w", err)
 	}
-	have := make(map[string]bool, len(baseline.Header))
-	for _, h := range baseline.Header {
-		have[h] = true
+	return &baseline, nil
+}
+
+// columnIndex maps a table header's column names to their positions.
+func columnIndex(header []string) map[string]int {
+	col := make(map[string]int, len(header))
+	for i, h := range header {
+		col[h] = i
 	}
+	return col
+}
+
+// MissingBaselineColumns compares a committed sweep-baseline JSON against
+// the columns a table now produces and returns the columns the baseline
+// lacks — the staleness signal both the test suite and the bench smoke
+// step fail on.
+func MissingBaselineColumns(baselineJSON []byte, tab *Table) ([]string, error) {
+	baseline, err := parseBaseline(baselineJSON)
+	if err != nil {
+		return nil, err
+	}
+	have := columnIndex(baseline.Header)
 	var missing []string
 	for _, h := range tab.Header {
-		if !have[h] {
+		if _, ok := have[h]; !ok {
 			missing = append(missing, h)
 		}
 	}
@@ -219,9 +268,9 @@ func MissingBaselineColumns(baselineJSON []byte, tab *Table) ([]string, error) {
 // unguarded. Pass federation.BuiltinPlacerNames for the committed
 // baseline, which is regenerated from the built-in sweep.
 func MissingBaselinePolicies(baselineJSON []byte, policies []string) ([]string, error) {
-	var baseline struct{ Rows [][]string }
-	if err := json.Unmarshal(baselineJSON, &baseline); err != nil {
-		return nil, fmt.Errorf("experiments: unparsable baseline: %w", err)
+	baseline, err := parseBaseline(baselineJSON)
+	if err != nil {
+		return nil, err
 	}
 	have := make(map[string]bool)
 	for _, row := range baseline.Rows {
@@ -233,6 +282,62 @@ func MissingBaselinePolicies(baselineJSON []byte, policies []string) ([]string, 
 	for _, p := range policies {
 		if !have[p] {
 			missing = append(missing, p)
+		}
+	}
+	return missing, nil
+}
+
+// coordinatorScenarios are the coordinator sweep rows the baseline guard
+// demands, in report order: a centroid-elected row, an outage row (missed
+// epochs), a lease-fallback row (lease expirations), and a frozen-grants
+// outage row (missed epochs without a single lease expiry).
+var coordinatorScenarios = []string{"centroid election", "coordinator outage",
+	"lease fallback", "frozen grants under outage"}
+
+// MissingCoordinatorScenarios compares a committed sweep-baseline JSON
+// against the coordinator scenarios the federation-coordinator sweep
+// produces and returns the ones the baseline lacks (coordinatorScenarios).
+// Together with MissingBaselineColumns this is the staleness signal that
+// fails CI when BENCH_federation.json was regenerated without the
+// coordinator sweep rows.
+func MissingCoordinatorScenarios(baselineJSON []byte) ([]string, error) {
+	baseline, err := parseBaseline(baselineJSON)
+	if err != nil {
+		return nil, err
+	}
+	col := columnIndex(baseline.Header)
+	have := map[string]bool{}
+	for _, name := range []string{"coordinator", "missed-epochs", "lease-exp"} {
+		if _, ok := col[name]; !ok {
+			// The column guard reports the missing columns themselves; with
+			// no columns there can be no scenarios either.
+			return append([]string(nil), coordinatorScenarios...), nil
+		}
+	}
+	for _, row := range baseline.Rows {
+		if len(row) <= col["lease-exp"] || len(row) < 3 || row[2] != "all" {
+			continue
+		}
+		coord := row[col["coordinator"]]
+		missed := row[col["missed-epochs"]] != "0" && row[col["missed-epochs"]] != ""
+		expired := row[col["lease-exp"]] != "0" && row[col["lease-exp"]] != ""
+		if strings.HasPrefix(coord, "centroid@") {
+			have["centroid election"] = true
+		}
+		if missed {
+			have["coordinator outage"] = true
+		}
+		if expired {
+			have["lease fallback"] = true
+		}
+		if missed && !expired {
+			have["frozen grants under outage"] = true
+		}
+	}
+	var missing []string
+	for _, s := range coordinatorScenarios {
+		if !have[s] {
+			missing = append(missing, s)
 		}
 	}
 	return missing, nil

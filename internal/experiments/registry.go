@@ -12,23 +12,25 @@ type Runner func(Options) (*Table, error)
 // Registry maps experiment IDs to runners. IDs match the per-experiment
 // index in DESIGN.md §3.
 var Registry = map[string]Runner{
-	"table1":               func(Options) (*Table, error) { return Table1(), nil },
-	"fig3":                 Fig3,
-	"fig4":                 Fig4,
-	"fig5":                 Fig5,
-	"fig6":                 Fig6,
-	"fig7":                 Fig7,
-	"fig8":                 Fig8,
-	"fig9":                 Fig9,
-	"federation":           Federation,
-	"federation-trace":     FederationTrace,
-	"federation-fairshare": FederationFairShare,
-	"federation-placers":   FederationPlacers,
-	"openwhisk":            OpenWhisk,
-	"ablation-estimator":   AblationEstimator,
-	"ablation-placement":   AblationPlacement,
-	"ablation-hetmodel":    AblationHetModel,
-	"ablation-ggc":         AblationGGC,
+	"table1":                 func(Options) (*Table, error) { return Table1(), nil },
+	"fig3":                   Fig3,
+	"fig4":                   Fig4,
+	"fig5":                   Fig5,
+	"fig6":                   Fig6,
+	"fig7":                   Fig7,
+	"fig8":                   Fig8,
+	"fig9":                   Fig9,
+	"federation":             Federation,
+	"federation-trace":       FederationTrace,
+	"federation-fairshare":   FederationFairShare,
+	"federation-placers":     FederationPlacers,
+	"federation-coordinator": FederationCoordinator,
+	"federation-bench":       FederationBench,
+	"openwhisk":              OpenWhisk,
+	"ablation-estimator":     AblationEstimator,
+	"ablation-placement":     AblationPlacement,
+	"ablation-hetmodel":      AblationHetModel,
+	"ablation-ggc":           AblationGGC,
 }
 
 // IDs returns the registered experiment IDs, sorted, paper experiments

@@ -42,34 +42,56 @@ func TestGlobalFairShareAppliesGrants(t *testing.T) {
 	}
 }
 
-// TestGrantsChargedCoordinationRTT: a site whose round trip to the
-// coordinator exceeds the run length never receives its grants — the
-// coordination latency is charged through the topology matrix, not
-// assumed away — while the coordinator site itself (zero RTT) does.
+// TestGrantsChargedCoordinationRTT: every leg of the coordination round
+// trip is charged through the topology matrix, the demand upload
+// included. With a 30s one-way RTT the coordinator cannot compute before
+// the remote site's t=0 demand report arrives at t=30s — so even the
+// coordinator site itself (zero return leg) holds no grants at t=20s —
+// and the remote site, one more 30s return leg away, still has none at
+// t=40s when the coordinator site does.
 func TestGrantsChargedCoordinationRTT(t *testing.T) {
-	cfg := Config{
-		Sites: []core.Config{
-			staticSite(t, "squeezenet", 10, 1, cluster.PaperCluster()),
-			staticSite(t, "squeezenet", 10, 2, cluster.PaperCluster()),
-		},
-		Policy:          Never,
-		GlobalFairShare: true,
-		AllocEpoch:      5 * time.Second,
-		PeerRTT:         30 * time.Second, // round trip 60s >> run
-		Seed:            9,
+	build := func() *Federation {
+		fed, err := New(Config{
+			Sites: []core.Config{
+				staticSite(t, "squeezenet", 10, 1, cluster.PaperCluster()),
+				staticSite(t, "squeezenet", 10, 2, cluster.PaperCluster()),
+			},
+			Policy:          Never,
+			GlobalFairShare: true,
+			AllocEpoch:      5 * time.Second,
+			PeerRTT:         30 * time.Second, // one-way 30s, round trip 60s
+			Seed:            9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fed
 	}
-	fed, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
+
+	fed := build()
 	if _, err := fed.Run(20 * time.Second); err != nil {
 		t.Fatal(err)
 	}
+	if fed.Sites[0].Platform.Controller.GrantedExternally() {
+		t.Error("coordinator site held grants before the slowest demand upload (30s) arrived")
+	}
+
+	fed = build()
+	res, err := fed.Run(40 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !fed.Sites[0].Platform.Controller.GrantedExternally() {
-		t.Error("coordinator site (RTT 0) never received grants")
+		t.Error("coordinator site (zero return leg) never received grants after the gather elapsed")
 	}
 	if fed.Sites[1].Platform.Controller.GrantedExternally() {
-		t.Error("remote site received grants before the coordination round trip elapsed")
+		t.Error("remote site received grants before the full gather+return round trip elapsed")
+	}
+	// Only landed deliveries count toward the mean delay: every delivery
+	// that fit in the run was the coordinator site's 30s-gather + 0s
+	// return; the remote site's 60s deliveries never arrived.
+	if res.MeanGrantDelay != 30*time.Second {
+		t.Errorf("MeanGrantDelay = %v counting undelivered grants, want 30s", res.MeanGrantDelay)
 	}
 }
 
@@ -155,7 +177,12 @@ func TestAdmissionRejectsOnlyWithoutHeadroom(t *testing.T) {
 		t.Error("rejections not attributed to the overloaded origin")
 	}
 
-	fed, err = New(Config{Sites: sites(), Policy: NearestPeer, OffloadAwareAdmission: true, Seed: 5})
+	// CloudAlwaysWarm keeps the cloud's latency floor (2×RTT + mean
+	// service) inside the SLO: admission now honestly rejects a cloud
+	// landing whose cold start alone would guarantee a miss, and this
+	// test is about grant headroom, not cold-start realism.
+	fed, err = New(Config{Sites: sites(), Policy: NearestPeer, OffloadAwareAdmission: true,
+		CloudAlwaysWarm: true, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +191,7 @@ func TestAdmissionRejectsOnlyWithoutHeadroom(t *testing.T) {
 		t.Fatal(err)
 	}
 	if res.Rejected != 0 {
-		t.Errorf("nearest-peer + admission rejected %d with an idle peer and an unbounded cloud", res.Rejected)
+		t.Errorf("nearest-peer + admission rejected %d with an idle peer and an unbounded warm cloud", res.Rejected)
 	}
 	if res.Sites[0].OffloadedPeer == 0 && res.Sites[0].OffloadedCloud == 0 {
 		t.Error("overloaded origin offloaded nothing")
@@ -183,7 +210,11 @@ func TestAdmissionRejectsWhenCloudThrottled(t *testing.T) {
 		Policy:                NearestPeer,
 		OffloadAwareAdmission: true,
 		CloudMaxConcurrency:   1,
-		Seed:                  5,
+		// Always-warm isolates the throttle gate under test: with cold
+		// starts modelled, admission's latency floor would reject every
+		// cloud landing before a queue could ever form at the cap.
+		CloudAlwaysWarm: true,
+		Seed:            5,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,10 +45,19 @@
 // (internal/allocation): a coordinator site gathers every controller's
 // demand report each epoch, water-fills the federation's total edge
 // capacity over the site → user → function tree, and pushes per-site
-// grants back down after the coordination round trip read from the
-// topology. Config.OffloadAwareAdmission couples §3.4 admission control
-// to placement: sheddable requests are offered along the policy's
-// placement preferences and rejected only as a last resort.
+// grants back down — every network leg read from the topology and
+// charged, including the demand upload, so grants are always computed
+// from RTT-stale snapshots. The coordinator is a first-class, elected,
+// failure-tolerant role: Config.CoordinatorElection places it at a fixed
+// index or at the topology's weighted RTT centroid,
+// Config.CoordinatorOutages schedules windows during which the
+// coordinator is dark (missed epochs produce no grants), and grants carry
+// a lease (Config.GrantLease, default 2×AllocEpoch) so a site cut off
+// from the coordinator falls back to local enforcement instead of
+// freezing on stale grants forever. Config.OffloadAwareAdmission couples
+// §3.4 admission control to placement: sheddable requests are offered
+// along the policy's placement preferences and rejected only as a last
+// resort.
 package federation
 
 import (
@@ -156,6 +165,53 @@ func ParsePeerSelection(s string) (PeerSelection, error) {
 	return 0, fmt.Errorf("federation: unknown peer selection %q (nearest|p2c)", s)
 }
 
+// CoordinatorElection selects how the site hosting the global allocator is
+// chosen.
+type CoordinatorElection int
+
+const (
+	// Fixed pins the coordinator at Config.Coordinator (default site 0) —
+	// the historical behaviour, and deliberately the zero value.
+	Fixed CoordinatorElection = iota
+	// RTTCentroid elects the site minimizing the weighted round-trip sum
+	// over the Topology matrix (Topology.RTTCentroid, weighted by
+	// SiteWeights): the placement that minimizes the demand-gather and
+	// grant-delivery legs every allocation epoch pays. The election runs
+	// when the federation is assembled and is re-run whenever membership
+	// — the Sites list and its Topology — changes.
+	RTTCentroid
+)
+
+// String returns the election-mode name.
+func (e CoordinatorElection) String() string {
+	switch e {
+	case Fixed:
+		return "fixed"
+	case RTTCentroid:
+		return "centroid"
+	}
+	return fmt.Sprintf("election(%d)", int(e))
+}
+
+// ParseCoordinatorElection returns the election mode named by s.
+func ParseCoordinatorElection(s string) (CoordinatorElection, error) {
+	for _, e := range []CoordinatorElection{Fixed, RTTCentroid} {
+		if e.String() == s {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("federation: unknown coordinator election %q (fixed|centroid)", s)
+}
+
+// Window is a half-open interval [Start, End) of simulated time; the
+// federation uses windows to schedule coordinator outages.
+type Window struct {
+	Start, End time.Duration
+}
+
+// Contains reports whether t falls inside the window.
+func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
+
 // Config describes a federated deployment.
 type Config struct {
 	// Sites configures one core platform per edge site. Site i's cluster
@@ -228,13 +284,35 @@ type Config struct {
 	// AllocEpoch is the global allocator's period (default 5s, the
 	// controller evaluation interval).
 	AllocEpoch time.Duration
-	// Coordinator is the site index hosting the global allocator
-	// (default 0). Each epoch's grants reach site i only after the
-	// gather+push round trip rtt(i→coord)+rtt(coord→i) read from the
-	// Topology — coordination latency is charged, not assumed away.
+	// Coordinator is the site index hosting the global allocator under
+	// Fixed election (default 0; ignored under RTTCentroid). Epoch timing
+	// is honest both ways: the coordinator waits for the slowest site's
+	// demand upload (max_j rtt(j→coord)), computes grants from those
+	// RTT-stale snapshots, and each site's grants land only after the
+	// return leg rtt(coord→i) — coordination latency is charged, not
+	// assumed away.
 	Coordinator int
+	// CoordinatorElection selects how the coordinator site is chosen:
+	// Fixed (the zero value — Config.Coordinator, today's behaviour) or
+	// RTTCentroid (the topology's weighted round-trip centroid, re-elected
+	// when the federation is reassembled with different membership).
+	CoordinatorElection CoordinatorElection
+	// CoordinatorOutages schedules windows of simulated time during which
+	// the coordinator is dark: allocation epochs that fire inside a window
+	// produce no grants and are counted in Result.MissedAllocEpochs. Sites
+	// keep enforcing their last grants until the grant lease lapses
+	// (GrantLease), then fall back to local enforcement.
+	CoordinatorOutages []Window
+	// GrantLease is how long a delivered grant set stays valid without
+	// renewal before the site's controller falls back to local enforcement
+	// (default 2×AllocEpoch; negative = no lease, the freeze-on-stale
+	// legacy). In steady state grants renew every epoch so the default
+	// lease never lapses; it only bites when the coordinator goes dark.
+	GrantLease time.Duration
 	// SiteWeights optionally sets each site's weight at the root of the
-	// global allocation tree (entries ≤ 0 and missing entries mean 1).
+	// global allocation tree. Entries must be non-negative: a negative
+	// weight is a configuration error, and zero (like a missing entry)
+	// explicitly means the default weight 1.
 	SiteWeights []float64
 
 	// OffloadAwareAdmission couples §3.4 admission control to placement:
@@ -280,6 +358,9 @@ func (c *Config) fillDefaults() {
 	if c.AllocEpoch == 0 {
 		c.AllocEpoch = 5 * time.Second
 	}
+	// Same sentinel convention as the cloud knobs: zero selects the
+	// default, negative means explicitly none (an unleased grant).
+	c.GrantLease = zeroDefault(c.GrantLease, 2*c.AllocEpoch)
 }
 
 // Site is one edge deployment inside the federation.
@@ -317,6 +398,11 @@ type Site struct {
 	CloudQueued     uint64
 	CloudCost       float64
 
+	// GrantLeaseExpirations counts the grant leases that lapsed at this
+	// site without renewal — each one a fallback from global grants to
+	// local enforcement, typically because the coordinator went dark.
+	GrantLeaseExpirations uint64
+
 	peers []*Site // other sites, ascending RTT, ties by index
 }
 
@@ -332,12 +418,17 @@ type Federation struct {
 	cloudServed uint64
 	cloudPools  map[string]*cloudPool // per-function warm-instance pools
 
-	// Global fair-share state: the epoch-level waste/drift accumulators
-	// the sweep reports.
-	allocEpochs uint64
-	strandedSum float64
-	driftSum    float64
-	allocErr    error
+	// Global fair-share state: the elected coordinator, the epoch-level
+	// waste/drift accumulators the sweep reports, and the coordinator
+	// failure/latency bookkeeping.
+	coordinator       int
+	allocEpochs       uint64
+	missedAllocEpochs uint64
+	strandedSum       float64
+	driftSum          float64
+	grantDelaySum     time.Duration
+	grantDeliveries   uint64
+	allocErr          error
 }
 
 // New assembles a federation: every site's platform is built on one shared
@@ -361,9 +452,27 @@ func New(cfg Config) (*Federation, error) {
 		return nil, fmt.Errorf("federation: coordinator index %d out of range (have %d sites)",
 			cfg.Coordinator, len(cfg.Sites))
 	}
+	switch cfg.CoordinatorElection {
+	case Fixed, RTTCentroid:
+	default:
+		return nil, fmt.Errorf("federation: unknown coordinator election %d", int(cfg.CoordinatorElection))
+	}
+	for i, w := range cfg.CoordinatorOutages {
+		if w.Start < 0 || w.End <= w.Start {
+			return nil, fmt.Errorf("federation: coordinator outage %d [%v, %v) is not a forward window",
+				i, w.Start, w.End)
+		}
+	}
 	if len(cfg.SiteWeights) > len(cfg.Sites) {
 		return nil, fmt.Errorf("federation: %d site weights for %d sites",
 			len(cfg.SiteWeights), len(cfg.Sites))
+	}
+	for i, w := range cfg.SiteWeights {
+		// Zero means "default weight 1" (documented); a negative weight is
+		// always a mistake and used to be silently coerced to 1.
+		if w < 0 {
+			return nil, fmt.Errorf("federation: site %d weight %v is negative (use 0 or omit for the default 1)", i, w)
+		}
 	}
 	placer := cfg.Placer
 	if placer == nil {
@@ -382,6 +491,13 @@ func New(cfg Config) (*Federation, error) {
 		cloudRng:   xrand.New(cfg.Seed ^ 0xfed0),
 		peerRng:    xrand.New(cfg.Seed ^ 0x9ee2),
 		cloudPools: make(map[string]*cloudPool),
+	}
+	// Elect the coordinator. Membership is fixed for the federation's
+	// lifetime, so the election runs once at assembly; rebuilding with a
+	// different Sites list (or Topology) re-elects.
+	f.coordinator = cfg.Coordinator
+	if cfg.CoordinatorElection == RTTCentroid {
+		f.coordinator = cfg.Topology.RTTCentroid(cfg.SiteWeights)
 	}
 	for i, sc := range cfg.Sites {
 		sc.Engine = engine
@@ -414,6 +530,21 @@ func New(cfg Config) (*Federation, error) {
 // from the topology matrix (the ring formula when none was configured).
 func (f *Federation) rtt(i, j int) time.Duration {
 	return f.cfg.Topology.RTT(i, j)
+}
+
+// Coordinator returns the site index hosting the global allocator: the
+// configured index under Fixed election, the topology's weighted
+// round-trip centroid under RTTCentroid.
+func (f *Federation) Coordinator() int { return f.coordinator }
+
+// inOutage reports whether the coordinator is dark at time t.
+func (f *Federation) inOutage(t time.Duration) bool {
+	for _, w := range f.cfg.CoordinatorOutages {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
 }
 
 // peersByRTT returns the other sites ordered by ascending RTT from s,
@@ -680,20 +811,16 @@ func (f *Federation) predictCloud(q *dispatch.Queue) float64 {
 	return resp.Seconds()
 }
 
-// cloudAdmits reports whether the cloud still has headroom for one more fn
-// request: always when uncapped, otherwise only while the projected
-// at-the-cap queueing delay stays within the response SLO — beyond that a
-// cloud landing is already a guaranteed violation, so admission rejects
-// instead.
+// cloudAdmits reports whether a cloud landing for one more fn request can
+// still meet the response SLO: the full predictCloud floor — both network
+// legs, the mean service time, and either the projected queueing delay at
+// the concurrency cap or the cold start a pool with no warm instance would
+// pay — must fit within the SLO. Beyond that a cloud landing is already a
+// guaranteed violation, so admission rejects instead. (The check used to
+// compare only the queue wait against the SLO, admitting cold pools whose
+// 2×CloudRTT + ColdStart + mean service alone guaranteed a miss.)
 func (f *Federation) cloudAdmits(q *dispatch.Queue) bool {
-	if f.cfg.CloudMaxConcurrency <= 0 {
-		return true
-	}
-	pool := f.cloudPools[q.Spec().Name]
-	if pool == nil {
-		return true
-	}
-	return pool.predictWait(f.Engine.Now()+f.cfg.CloudRTT, f.cfg.CloudMaxConcurrency) <= f.cfg.ResponseSLO
+	return f.predictCloud(q) <= f.cfg.ResponseSLO.Seconds()
 }
 
 // offloadToCloud serves the request on the cloud backend: it reaches the
@@ -748,17 +875,26 @@ func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch
 	})
 }
 
-// allocEpoch runs one federation-wide fair-share epoch at the
-// coordinator: gather every site's demand report, divide the federation's
-// total edge capacity (site → user → function, §4.1 capped water-filling),
-// and push each site's grants back down after the gather+push round trip
-// to that site. Epoch-level stranded-capacity and allocation-drift
-// measurements accumulate for the sweep tables.
+// allocEpoch starts one federation-wide fair-share epoch. Timing is
+// honest end to end: each site snapshots its demand report at the epoch
+// boundary and uploads it, the coordinator can only compute once the
+// slowest upload has arrived (max_j rtt(j→coord)), so grants are always
+// derived from RTT-stale snapshots, and each site's grants land only
+// after the return leg rtt(coord→i). An epoch whose boundary — or whose
+// compute moment, one gather later — falls inside a CoordinatorOutages
+// window produces no grants at all and is counted in
+// Result.MissedAllocEpochs — sites coast on their leased grants until the
+// lease lapses, then fall back to local enforcement.
 func (f *Federation) allocEpoch() {
 	if f.allocErr != nil {
 		return
 	}
+	if f.inOutage(f.Engine.Now()) {
+		f.missedAllocEpochs++
+		return
+	}
 	sites := make([]allocation.SiteDemand, len(f.Sites))
+	var gather time.Duration
 	for i, s := range f.Sites {
 		var w float64 = 1
 		if i < len(f.cfg.SiteWeights) && f.cfg.SiteWeights[i] > 0 {
@@ -781,6 +917,31 @@ func (f *Federation) allocEpoch() {
 			CapacityCPU: s.Platform.Controller.Capacity(),
 			Functions:   fns,
 		}
+		if up := f.rtt(i, f.coordinator); up > gather {
+			gather = up
+		}
+	}
+	f.Engine.After(gather, func() { f.allocDeliver(sites, gather) })
+}
+
+// allocDeliver runs the allocation at the coordinator — one demand-gather
+// leg after the epoch boundary, over the boundary-time snapshots — and
+// pushes each site's grants down the return leg with the configured lease.
+// The coordinator acts here, so an outage covering the compute moment
+// (not just the epoch boundary) also misses the epoch: a coordinator
+// that went dark while the demand reports were in flight cannot compute.
+// Epoch-level stranded-capacity and allocation-drift measurements
+// accumulate for the sweep tables, as does each delivery's end-to-end
+// delay (gather + return) for Result.MeanGrantDelay — counted when the
+// grants actually land, so deliveries still in flight when the run ends
+// are not reported as delivered.
+func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Duration) {
+	if f.allocErr != nil {
+		return
+	}
+	if f.inOutage(f.Engine.Now()) {
+		f.missedAllocEpochs++
+		return
 	}
 	res, err := allocation.Allocate(sites, true)
 	if err != nil {
@@ -790,13 +951,29 @@ func (f *Federation) allocEpoch() {
 	f.allocEpochs++
 	f.strandedSum += float64(res.StrandedCPU)
 	f.driftSum += float64(res.DriftCPU)
-	coord := f.cfg.Coordinator
+	lease := f.cfg.GrantLease // negative = unleased (freeze on stale)
 	for i, s := range f.Sites {
 		grants := res.SiteGrants(s.Name)
-		delay := f.rtt(i, coord) + f.rtt(coord, i)
-		ctl := s.Platform.Controller
-		f.Engine.After(delay, func() {
-			ctl.SetCapacityGrants(grants)
+		back := f.rtt(f.coordinator, i)
+		delay := gather + back
+		site, ctl := s, s.Platform.Controller
+		f.Engine.After(back, func() {
+			f.grantDelaySum += delay
+			f.grantDeliveries++
+			if lease > 0 {
+				ctl.SetCapacityGrantsLeased(grants, lease)
+				// The expiry event makes the fallback visible to the
+				// placement layer the instant the lease runs out; a renewal
+				// in the meantime pushes the controller's deadline past this
+				// event, turning it into a no-op.
+				f.Engine.After(lease, func() {
+					if ctl.ExpireGrantLease() {
+						site.GrantLeaseExpirations++
+					}
+				})
+			} else {
+				ctl.SetCapacityGrants(grants)
+			}
 		})
 	}
 }
@@ -826,6 +1003,10 @@ type SiteResult struct {
 	CloudTimedOut   uint64
 	CloudQueued     uint64
 	CloudCost       float64
+
+	// GrantLeaseExpirations counts grant leases that lapsed at this site
+	// without renewal (fallbacks to local enforcement).
+	GrantLeaseExpirations uint64
 
 	// Unresolved counts ingress requests that never completed before the
 	// run ended — still queued, in service, in the network, or killed by
@@ -873,13 +1054,25 @@ type Result struct {
 	CloudCost       float64
 	Rejected        uint64
 	// GlobalFairShare reports whether the run used the federation-wide
-	// allocator; AllocEpochs counts its epochs, and MeanStrandedCPU /
-	// MeanAllocDriftCPU are the per-epoch means of the allocator's
-	// stranded-capacity and cross-site drift measurements (millicores).
+	// allocator; AllocEpochs counts its completed epochs, and
+	// MeanStrandedCPU / MeanAllocDriftCPU are the per-epoch means of the
+	// allocator's stranded-capacity and cross-site drift measurements
+	// (millicores).
 	GlobalFairShare   bool
 	AllocEpochs       uint64
 	MeanStrandedCPU   float64
 	MeanAllocDriftCPU float64
+	// Coordinator is the site index that hosted the global allocator and
+	// Election how it was chosen; MissedAllocEpochs counts epochs that
+	// fired inside a coordinator outage window and so produced no grants;
+	// GrantLeaseExpirations aggregates the per-site lease fallbacks; and
+	// MeanGrantDelay is the mean end-to-end grant-delivery delay (demand
+	// gather + return leg) over every delivery of the run.
+	Coordinator           int
+	Election              CoordinatorElection
+	MissedAllocEpochs     uint64
+	GrantLeaseExpirations uint64
+	MeanGrantDelay        time.Duration
 }
 
 // Run drives all sites on the shared engine for the given simulated
@@ -891,8 +1084,13 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 	if f.cfg.GlobalFairShare {
 		// Scheduled after the platforms so that, on shared epoch
 		// timestamps, every controller's demand estimate is fresh before
-		// the coordinator reads it.
-		f.Engine.Every(f.cfg.AllocEpoch, f.allocEpoch)
+		// the coordinator reads it. The first epoch fires at t≈0 — not one
+		// full AllocEpoch in — so no site ever runs ungoverned-local while
+		// the federation believes global governance is on; before their
+		// first Step the controllers report their live (prewarmed) pool
+		// capacity as demand, so bootstrap grants preserve the prewarm
+		// rather than clawing back capacity nobody has measured yet.
+		f.Engine.EveryFrom(0, f.cfg.AllocEpoch, f.allocEpoch)
 	}
 	f.Engine.RunUntil(duration)
 	if f.allocErr != nil {
@@ -900,10 +1098,15 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 	}
 	res := &Result{Placer: f.placer.Name(), Policy: f.cfg.Policy, Duration: duration,
 		CloudServed:     f.cloudServed,
-		GlobalFairShare: f.cfg.GlobalFairShare, AllocEpochs: f.allocEpochs}
+		GlobalFairShare: f.cfg.GlobalFairShare, AllocEpochs: f.allocEpochs,
+		Coordinator: f.coordinator, Election: f.cfg.CoordinatorElection,
+		MissedAllocEpochs: f.missedAllocEpochs}
 	if f.allocEpochs > 0 {
 		res.MeanStrandedCPU = f.strandedSum / float64(f.allocEpochs)
 		res.MeanAllocDriftCPU = f.driftSum / float64(f.allocEpochs)
+	}
+	if f.grantDeliveries > 0 {
+		res.MeanGrantDelay = f.grantDelaySum / time.Duration(f.grantDeliveries)
 	}
 	for _, s := range f.Sites {
 		cr, err := s.Platform.Collect(duration)
@@ -919,26 +1122,28 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 			unresolved = ingress - observed
 		}
 		res.Sites = append(res.Sites, SiteResult{
-			Name:            s.Name,
-			Core:            cr,
-			Responses:       s.Responses,
-			SLO:             s.SLO,
-			ServedLocal:     s.ServedLocal,
-			OffloadedPeer:   s.OffloadedPeer,
-			OffloadedCloud:  s.OffloadedCloud,
-			PeerServed:      s.PeerServed,
-			Rejected:        s.Rejected,
-			CloudColdStarts: s.CloudColdStarts,
-			CloudTimedOut:   s.CloudTimedOut,
-			CloudQueued:     s.CloudQueued,
-			CloudCost:       s.CloudCost,
-			Unresolved:      unresolved,
+			Name:                  s.Name,
+			Core:                  cr,
+			Responses:             s.Responses,
+			SLO:                   s.SLO,
+			ServedLocal:           s.ServedLocal,
+			OffloadedPeer:         s.OffloadedPeer,
+			OffloadedCloud:        s.OffloadedCloud,
+			PeerServed:            s.PeerServed,
+			Rejected:              s.Rejected,
+			CloudColdStarts:       s.CloudColdStarts,
+			CloudTimedOut:         s.CloudTimedOut,
+			CloudQueued:           s.CloudQueued,
+			CloudCost:             s.CloudCost,
+			GrantLeaseExpirations: s.GrantLeaseExpirations,
+			Unresolved:            unresolved,
 		})
 		res.CloudColdStarts += s.CloudColdStarts
 		res.CloudTimedOut += s.CloudTimedOut
 		res.CloudQueued += s.CloudQueued
 		res.CloudCost += s.CloudCost
 		res.Rejected += s.Rejected
+		res.GrantLeaseExpirations += s.GrantLeaseExpirations
 	}
 	return res, nil
 }

@@ -216,9 +216,12 @@ func (ctx *PlacementContext) PredictResponse(site int) float64 {
 // it.
 func (ctx *PlacementContext) PredictCloud() float64 { return ctx.f.predictCloud(ctx.q) }
 
-// CloudAdmits reports whether the cloud still has headroom for one more
-// request of this function: always when uncapped, otherwise only while the
-// projected at-the-cap queueing delay stays within the response SLO.
+// CloudAdmits reports whether a cloud landing for one more request of
+// this function can still meet the response SLO: the full PredictCloud
+// floor — both network legs, the mean service time, and either the
+// projected queueing delay at the concurrency cap or the cold start a
+// pool with no idle warm instance would pay — must fit the deadline.
+// This is the gate §3.4 admission applies to sheddable cloud decisions.
 func (ctx *PlacementContext) CloudAdmits() bool { return ctx.f.cloudAdmits(ctx.q) }
 
 // CloudCostPerRequest returns the expected bill ($) for serving one
@@ -584,9 +587,12 @@ func (costBoundedPlacer) Place(ctx *PlacementContext) Decision {
 	for _, p := range ctx.PeersByRTT() {
 		cands = append(cands, candidate{ToSite(p), 0, ctx.PredictResponse(p)})
 	}
-	if ctx.CloudAdmits() {
-		cands = append(cands, candidate{ToCloud(), ctx.CloudCostPerRequest(), ctx.PredictCloud()})
-	}
+	// The cloud is always a candidate: the selection loop below filters by
+	// the same PredictCloud-vs-deadline floor CloudAdmits applies, and the
+	// no-candidate-meets-SLO fallback must still be able to pick the cloud
+	// when it is the fastest miss (e.g. a 600ms cold cloud beats a
+	// hopelessly backlogged local queue).
+	cands = append(cands, candidate{ToCloud(), ctx.CloudCostPerRequest(), ctx.PredictCloud()})
 	deadline := ctx.ResponseSLO().Seconds()
 	// Cheapest candidate meeting the SLO, ties to the faster prediction;
 	// PeersByRTT order breaks exact ties deterministically.

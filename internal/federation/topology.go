@@ -101,6 +101,31 @@ func Star(n int, spokeRTT time.Duration) (*Topology, error) {
 	return &Topology{rtt: m}, nil
 }
 
+// RTTCentroid returns the site best placed to host a coordinator: the
+// index minimizing the weighted sum of round trips
+// Σ_j w_j × (RTT(j, i) + RTT(i, j)) over every site j — both legs counted
+// separately, so an asymmetric matrix elects honestly. weights optionally
+// weighs each site's round trip (entries ≤ 0 and missing entries mean 1;
+// pass nil for unweighted); ties break to the lowest index, so election is
+// deterministic. Re-run it whenever membership — the matrix — changes.
+func (t *Topology) RTTCentroid(weights []float64) int {
+	best, bestSum := 0, time.Duration(-1)
+	for i := range t.rtt {
+		var sum time.Duration
+		for j := range t.rtt {
+			w := 1.0
+			if j < len(weights) && weights[j] > 0 {
+				w = weights[j]
+			}
+			sum += time.Duration(w * float64(t.rtt[j][i]+t.rtt[i][j]))
+		}
+		if bestSum < 0 || sum < bestSum {
+			best, bestSum = i, sum
+		}
+	}
+	return best
+}
+
 // Size returns the number of sites the topology describes.
 func (t *Topology) Size() int { return len(t.rtt) }
 

@@ -19,7 +19,12 @@
 //     cost accounting, with per-request dynamic offload after Das et al.'s
 //     edge-cloud task placement (2020) through a pluggable placement API
 //     (Placer, PlacementContext, RegisterPlacer): six built-in policies
-//     and user-defined ones, selectable by name.
+//     and user-defined ones, selectable by name. The federation-wide
+//     fair-share allocator's coordinator is an elected, failure-tolerant
+//     role: CoordinatorRTTCentroid places it at the topology's RTT
+//     centroid, OutageWindow schedules coordinator outages, and leased
+//     grants fall back to local enforcement when the coordinator goes
+//     dark.
 //
 // # Quick start
 //
@@ -266,6 +271,39 @@ func NewFederation(cfg FederationConfig) (*Federation, error) {
 func ParseOffloadPolicy(s string) (OffloadPolicy, error) {
 	return federation.ParsePolicy(s)
 }
+
+// CoordinatorElection selects how the global allocator's coordinator site
+// is chosen under FederationConfig.GlobalFairShare: pinned at
+// FederationConfig.Coordinator, or elected at the topology's weighted
+// round-trip centroid.
+type CoordinatorElection = federation.CoordinatorElection
+
+// Coordinator election modes.
+const (
+	// CoordinatorFixed pins the coordinator at
+	// FederationConfig.Coordinator (default site 0) — the historical
+	// behaviour, and the zero value.
+	CoordinatorFixed = federation.Fixed
+	// CoordinatorRTTCentroid elects the site minimizing the weighted
+	// round-trip sum over the topology matrix
+	// (FederationTopology.RTTCentroid), re-elected whenever the
+	// federation is reassembled with different membership.
+	CoordinatorRTTCentroid = federation.RTTCentroid
+)
+
+// ParseCoordinatorElection returns the coordinator election mode named by
+// s ("fixed", "centroid").
+func ParseCoordinatorElection(s string) (CoordinatorElection, error) {
+	return federation.ParseCoordinatorElection(s)
+}
+
+// OutageWindow is a half-open interval [Start, End) of simulated time;
+// FederationConfig.CoordinatorOutages uses it to schedule windows during
+// which the coordinator is dark — allocation epochs firing inside one
+// produce no grants (counted in FederationResult.MissedAllocEpochs), and
+// sites whose grant lease (FederationConfig.GrantLease, default
+// 2×AllocEpoch) lapses without renewal fall back to local enforcement.
+type OutageWindow = federation.Window
 
 // PeerSelection selects how a shedding site picks among candidate peers.
 type PeerSelection = federation.PeerSelection

@@ -181,12 +181,78 @@ func TestPublicAPIGlobalAllocation(t *testing.T) {
 	}
 }
 
+// TestPublicAPICoordinatorElection exercises the coordinator surface: the
+// election constants and parser, centroid election on a custom topology,
+// outage windows, and the failure counters on the run result.
+func TestPublicAPICoordinatorElection(t *testing.T) {
+	if el, err := lass.ParseCoordinatorElection("centroid"); err != nil || el != lass.CoordinatorRTTCentroid {
+		t.Errorf("ParseCoordinatorElection(centroid) = %v, %v", el, err)
+	}
+	if lass.CoordinatorFixed.String() != "fixed" || lass.CoordinatorRTTCentroid.String() != "centroid" {
+		t.Error("coordinator election constants misnamed")
+	}
+	ms := time.Millisecond
+	topo, err := lass.NewFederationTopology([][]time.Duration{
+		{0, 20 * ms, 22 * ms},
+		{18 * ms, 0, 2 * ms},
+		{21 * ms, 3 * ms, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hub := topo.RTTCentroid(nil); hub != 1 {
+		t.Fatalf("RTTCentroid = %d, want 1", hub)
+	}
+	spec, err := lass.FunctionByName("squeezenet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := func(rate float64, seed uint64) lass.SimulationConfig {
+		wl, err := lass.StaticWorkload(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lass.SimulationConfig{
+			Cluster:    lass.PaperCluster(),
+			Controller: controller.Config{MinContainers: 1},
+			Seed:       seed,
+			Functions:  []lass.FunctionConfig{{Spec: spec, Workload: wl, Prewarm: 1}},
+		}
+	}
+	fed, err := lass.NewFederation(lass.FederationConfig{
+		Sites:               []lass.SimulationConfig{site(30, 1), site(5, 2), site(5, 3)},
+		Policy:              lass.OffloadNever,
+		Topology:            topo,
+		GlobalFairShare:     true,
+		CoordinatorElection: lass.CoordinatorRTTCentroid,
+		CoordinatorOutages:  []lass.OutageWindow{{Start: 15 * time.Second, End: time.Hour}},
+		Seed:                7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fed.Run(time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Coordinator() != 1 || res.Coordinator != 1 {
+		t.Errorf("centroid coordinator = %d/%d, want 1", fed.Coordinator(), res.Coordinator)
+	}
+	if res.MissedAllocEpochs == 0 {
+		t.Error("run-long outage missed no allocation epochs")
+	}
+	if res.GrantLeaseExpirations == 0 {
+		t.Error("outage longer than the default lease expired no grants")
+	}
+}
+
 // TestFederationBaselineColumns guards the committed BENCH_federation.json
 // against silently going stale: it must carry every column the federation
-// sweep produces and an aggregate row for every built-in placement policy
+// sweep produces, an aggregate row for every built-in placement policy,
+// and the coordinator sweep's election/outage/lease scenario rows
 // (regenerate with
-// go run ./cmd/lass-sim -federation -quick -seed 1 -json BENCH_federation.json).
-// BenchmarkFederationSweep asserts the same invariant for the CI bench
+// go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json).
+// BenchmarkFederationSweep asserts the same invariants for the CI bench
 // smoke step, which runs no plain tests.
 func TestFederationBaselineColumns(t *testing.T) {
 	raw, err := os.ReadFile("BENCH_federation.json")
@@ -213,6 +279,16 @@ func TestFederationBaselineColumns(t *testing.T) {
 	}
 	for _, p := range stale {
 		t.Errorf("BENCH_federation.json baseline missing policy %q — regenerate it", p)
+	}
+	// The coordinator sweep's rows (centroid election, outage, lease
+	// fallback, frozen grants) must be in the baseline too: a baseline
+	// regenerated from the plain federation sweep alone fails here.
+	scenarios, err := experiments.MissingCoordinatorScenarios(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scenarios {
+		t.Errorf("BENCH_federation.json baseline missing coordinator scenario %q — regenerate it with -fed-bench", s)
 	}
 }
 
