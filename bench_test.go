@@ -46,11 +46,13 @@ func runExperiment(b *testing.B, id string) *experiments.Table {
 }
 
 func BenchmarkTable1FunctionCatalog(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "table1")
 	b.ReportMetric(float64(len(tab.Rows)), "functions")
 }
 
 func BenchmarkFig3ModelValidationHomogeneous(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "fig3")
 	met := 0
 	for _, row := range tab.Rows {
@@ -62,6 +64,7 @@ func BenchmarkFig3ModelValidationHomogeneous(b *testing.B) {
 }
 
 func BenchmarkFig4ModelValidationHeterogeneous(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "fig4")
 	met := 0
 	for _, row := range tab.Rows {
@@ -73,26 +76,32 @@ func BenchmarkFig4ModelValidationHeterogeneous(b *testing.B) {
 }
 
 func BenchmarkFig5SolverScalability(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fig5")
 }
 
 func BenchmarkFig6AutoScaling(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fig6")
 }
 
 func BenchmarkFig7DeflationServiceTime(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fig7")
 }
 
 func BenchmarkFig8ReclamationPolicies(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fig8")
 }
 
 func BenchmarkFig9AzureTrace(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "fig9")
 }
 
 func BenchmarkOpenWhiskBaselineCascade(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "openwhisk")
 }
 
@@ -131,6 +140,13 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	if len(scenarios) > 0 {
 		b.Fatalf("BENCH_federation.json baseline is missing coordinator scenarios %v; regenerate with %s", scenarios, regen)
 	}
+	engines, err := experiments.MissingEngineScenarios(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(engines) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing engine-bench scenarios %v; regenerate with %s", engines, regen)
+	}
 }
 
 // BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
@@ -139,6 +155,7 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 // committed baseline still carries every sweep column, and reports the
 // model-driven policy's aggregate violation rate.
 func BenchmarkFederationSweep(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "federation")
 	checkBaselineColumns(b, tab)
 	for _, row := range tab.Rows {
@@ -152,6 +169,7 @@ func BenchmarkFederationSweep(b *testing.B) {
 
 // BenchmarkFederationTrace runs the trace-driven sweep.
 func BenchmarkFederationTrace(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "federation-trace")
 }
 
@@ -160,6 +178,7 @@ func BenchmarkFederationTrace(b *testing.B) {
 // reports how much the grant-aware policy cuts the plain model-driven
 // violation rate — the Placer API's headline number.
 func BenchmarkFederationPlacers(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "federation-placers")
 	rate := func(policy string) (float64, error) {
 		row, err := experiments.PlacerAggregate(tab, policy)
@@ -179,6 +198,7 @@ func BenchmarkFederationPlacers(b *testing.B) {
 // and reports how much the federation-wide allocator cuts the nearest-peer
 // violation rate relative to per-site allocation.
 func BenchmarkFederationFairShare(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "federation-fairshare")
 	rate := func(alloc string) (float64, error) {
 		row, err := experiments.FairShareAggregate(tab, "nearest-peer", alloc)
@@ -199,6 +219,7 @@ func BenchmarkFederationFairShare(b *testing.B) {
 // harness) and reports how much RTT-centroid election cuts the mean
 // grant-delivery delay versus the fixed far-spoke placement.
 func BenchmarkFederationCoordinator(b *testing.B) {
+	b.ReportAllocs()
 	tab := runExperiment(b, "federation-coordinator")
 	if cut, err := experiments.CoordinatorDelayCut(tab); err == nil {
 		b.ReportMetric(cut, "centroid-delay-cut-frac")
@@ -208,18 +229,22 @@ func BenchmarkFederationCoordinator(b *testing.B) {
 }
 
 func BenchmarkAblationEstimator(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "ablation-estimator")
 }
 
 func BenchmarkAblationPlacement(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "ablation-placement")
 }
 
 func BenchmarkAblationHetModel(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "ablation-hetmodel")
 }
 
 func BenchmarkAblationGGC(b *testing.B) {
+	b.ReportAllocs()
 	runExperiment(b, "ablation-ggc")
 }
 
@@ -228,6 +253,7 @@ func BenchmarkAblationGGC(b *testing.B) {
 // BenchmarkSolverHomogeneous measures one Algorithm 1 sizing (the per
 // -epoch, per-function cost in the common homogeneous case).
 func BenchmarkSolverHomogeneous(b *testing.B) {
+	b.ReportAllocs()
 	slo := DefaultSLO()
 	for i := 0; i < b.N; i++ {
 		if _, err := queuing.MinimalContainers(45, 10, slo); err != nil {
@@ -240,6 +266,7 @@ func BenchmarkSolverHomogeneous(b *testing.B) {
 // heterogeneous pool after a +10% spike — the paper's Fig 5 headline
 // (sub-100ms reaction at 1000 containers).
 func BenchmarkSolverHeterogeneous1000(b *testing.B) {
+	b.ReportAllocs()
 	slo := DefaultSLO()
 	rng := xrand.New(9)
 	rates := make([]float64, 1000)
@@ -262,6 +289,7 @@ func BenchmarkSolverHeterogeneous1000(b *testing.B) {
 
 // BenchmarkMMCProbWait measures one steady-state evaluation.
 func BenchmarkMMCProbWait(b *testing.B) {
+	b.ReportAllocs()
 	m := queuing.MMC{Lambda: 900, Mu: 10, C: 120}
 	for i := 0; i < b.N; i++ {
 		if _, err := m.ProbWaitLE(0.1); err != nil {
@@ -273,6 +301,7 @@ func BenchmarkMMCProbWait(b *testing.B) {
 // BenchmarkFairShareAdjust measures one overload adjustment across 100
 // functions.
 func BenchmarkFairShareAdjust(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(3)
 	demands := make([]fairshare.Demand, 100)
 	for i := range demands {
@@ -295,6 +324,7 @@ func BenchmarkFairShareAdjust(b *testing.B) {
 // skewed demand so every pass (entitlement, feasibility clamp, overflow
 // spreading, drift accounting) does real work.
 func BenchmarkGlobalAllocator(b *testing.B) {
+	b.ReportAllocs()
 	rng := xrand.New(17)
 	sites := make([]allocation.SiteDemand, 16)
 	for i := range sites {
@@ -329,6 +359,7 @@ func BenchmarkGlobalAllocator(b *testing.B) {
 // BenchmarkEstimatorRecordAndRate measures the per-arrival estimator cost
 // plus a rate read every 64 arrivals.
 func BenchmarkEstimatorRecordAndRate(b *testing.B) {
+	b.ReportAllocs()
 	d, err := controller.NewDualWindow(controller.DefaultDualWindow())
 	if err != nil {
 		b.Fatal(err)
@@ -345,6 +376,7 @@ func BenchmarkEstimatorRecordAndRate(b *testing.B) {
 // BenchmarkDispatchRequest measures the full data-path cost of one request
 // (arrive → WRR select → service event → completion).
 func BenchmarkDispatchRequest(b *testing.B) {
+	b.ReportAllocs()
 	engine := sim.NewEngine()
 	cl, err := icluster.New(icluster.Config{Nodes: 4, CPUPerNode: 4000, MemPerNode: 16384})
 	if err != nil {
@@ -374,9 +406,72 @@ func BenchmarkDispatchRequest(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineChurn measures the raw timer-queue hot path on each
+// scheduler implementation: 1M self-rescheduling chains with a cancelled-
+// decoy mix and several thousand timers pending at all times (the
+// metro-scale regime). ref-heap is the frozen pre-refactor pointer-event
+// engine, so the heap/calendar sub-benchmarks read directly as the
+// refactor's speedup.
+func BenchmarkEngineChurn(b *testing.B) {
+	b.ReportAllocs()
+	for _, engine := range experiments.EngineNames {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				st, err := experiments.EngineChurn(engine, 1_000_000, 7)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += st.Events
+				wall += st.Wall
+			}
+			if wall > 0 {
+				b.ReportMetric(float64(events)/wall.Seconds(), "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkMetroDay runs the whole-stack metro-scale scenario — 100 edge
+// sites replaying a full 24h trace day on one shared engine — once per
+// iteration and guards the refactor's throughput floor: the run must
+// clear 100k events/sec (the dev-box rate is ~1.5M/s; the floor is set
+// ~15x below so slow CI hardware passes but an O(n log n) -> O(n^2)
+// regression in the scheduler or a new per-event allocation does not) and
+// stay under 1 heap allocation per event. CI runs this with -benchtime=1x
+// as the perf smoke.
+func BenchmarkMetroDay(b *testing.B) {
+	b.ReportAllocs()
+	const floorEventsPerSec = 100_000
+	for _, engine := range []string{"heap", "calendar"} {
+		b.Run(engine, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := experiments.MetroDay(experiments.Options{Seed: 1}, engine, 100, 24*60)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if eps := st.EventsPerSec(); eps < floorEventsPerSec {
+					b.Fatalf("metro-day on %s ran %.0f events/sec, below the %d floor (%d events in %v)",
+						engine, eps, floorEventsPerSec, st.Events, st.Wall)
+				}
+				if ape := st.AllocsPerEvent(); ape > 1 {
+					b.Fatalf("metro-day on %s allocated %.3f times per event; the pooled hot path must stay below 1",
+						engine, ape)
+				}
+				b.ReportMetric(st.EventsPerSec(), "events/sec")
+				b.ReportMetric(st.AllocsPerEvent(), "allocs/event")
+			}
+		})
+	}
+}
+
 // BenchmarkSimulationMinute measures simulating one minute of a 30 req/s
 // platform end to end (workload, dispatch, controller epochs, metrics).
 func BenchmarkSimulationMinute(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec := MicroBenchmark(100 * time.Millisecond)
 		wl, err := StaticWorkload(30)

@@ -17,6 +17,8 @@
 //	lass-sim -federation -fed-coordinator                  # coordinator election/outage/lease sweep
 //	lass-sim -federation -policy grant-aware               # one placement policy only
 //	lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
+//	lass-sim -federation -sweep-workers 8                  # parallel sweep, identical output
+//	lass-sim -federation -scheduler calendar -cpuprofile cpu.pprof
 //
 // With -federation the command runs the multi-cluster edge–cloud offload
 // experiment instead: three edge sites plus a cloud backend with warm-pool
@@ -43,13 +45,21 @@
 // power-of-two-choices shedding; -cloud-max-concurrency caps concurrent
 // cloud instances per function (FIFO queueing at the cap); -topology
 // selects the inter-site latency model (ring|star); the -cloud-* flags
-// tune the cloud's warm window and price points.
+// tune the cloud's warm window and price points; -sweep-workers runs that
+// many sweep cells concurrently (rows are emitted in canonical order, so
+// the CSV/JSON output is byte-identical at any worker count).
+//
+// -scheduler picks the engine's timer-queue implementation (heap or
+// calendar — results are identical, speed differs), and -cpuprofile /
+// -memprofile write pprof profiles for hot-path work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -61,6 +71,7 @@ import (
 	"lass/internal/experiments"
 	"lass/internal/federation"
 	"lass/internal/functions"
+	"lass/internal/sim"
 	"lass/internal/workload"
 )
 
@@ -97,8 +108,30 @@ func main() {
 		out        = flag.String("out", "federation.csv", "CSV output path for -federation")
 		jsonOut    = flag.String("json", "", "with -federation: also write the sweep table as JSON (e.g. BENCH_federation.json)")
 		quickSweep = flag.Bool("quick", false, "shorten the -federation sweep for smoke testing")
+		workers    = flag.Int("sweep-workers", 1, "with -federation: concurrent sweep cells (1 = serial; output is byte-identical at any worker count)")
+		scheduler  = flag.String("scheduler", "heap", "engine timer-queue implementation (heap|calendar); identical results either way")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	schedKind, err := sim.ParseSchedulerKind(*scheduler)
+	if err != nil {
+		fail(err)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeMemProfile(*memProfile)
+	}
 
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
@@ -109,15 +142,16 @@ func main() {
 		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
 		"coordinator": true,
 		"admission":   true, "offered-load": true, "peer-select": true,
-		"cloud-max-concurrency": true,
-		"out":                   true, "json": true, "quick": true}
+		"cloud-max-concurrency": true, "sweep-workers": true,
+		"out": true, "json": true, "quick": true}
 
 	if *fed {
 		// The sweep's edge scenario is fixed; flags for the ad-hoc mode
 		// would be silently meaningless, so call them out. -policy is
 		// shared: it selects the placement policy here, the reclamation
 		// policy in ad-hoc mode.
-		fedFlags := map[string]bool{"federation": true, "seed": true, "policy": true}
+		fedFlags := map[string]bool{"federation": true, "seed": true, "policy": true,
+			"scheduler": true, "cpuprofile": true, "memprofile": true}
 		for name := range fedOnly {
 			fedFlags[name] = true
 		}
@@ -163,8 +197,10 @@ func main() {
 			id = "federation-bench"
 		}
 		runFederation(id, experiments.Options{
-			Seed:  *seed,
-			Quick: *quickSweep,
+			Seed:         *seed,
+			Quick:        *quickSweep,
+			SweepWorkers: *workers,
+			Scheduler:    schedKind,
 			Fed: experiments.FedOptions{
 				Policy:                  fedPolicy,
 				Topology:                *topology,
@@ -248,6 +284,7 @@ func main() {
 		Controller: controller.Config{Policy: pol, MinContainers: 1},
 		Seed:       *seed,
 		Functions:  cfgs,
+		Scheduler:  schedKind,
 	})
 	if err != nil {
 		fail(err)
@@ -310,6 +347,23 @@ func runFederation(id string, opt experiments.Options, out, jsonOut string) {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", jsonOut)
+	}
+}
+
+// writeMemProfile snapshots the heap (after a final GC, so live objects —
+// not garbage — dominate the profile) into the given file.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
 	}
 }
 

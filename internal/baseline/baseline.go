@@ -64,7 +64,7 @@ type container struct {
 	node     *node
 	state    containerState
 	lastUsed time.Duration
-	done     *sim.Event
+	done     sim.Event
 	req      *request
 }
 

@@ -12,6 +12,7 @@ package cluster
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -421,13 +422,40 @@ func (cl *Cluster) Resize(c *Container, newCPU int64) error {
 
 // ContainersOf returns the live containers of a function in ID order.
 func (cl *Cluster) ContainersOf(function string) []*Container {
-	m := cl.byFunc[function]
-	out := make([]*Container, 0, len(m))
-	for _, c := range m {
-		out = append(out, c)
+	return cl.AppendContainersOf(function, make([]*Container, 0, len(cl.byFunc[function])))
+}
+
+// AppendContainersOf appends the live containers of a function to dst in
+// ID order and returns the extended slice, allocating only when dst lacks
+// capacity. Hot-path callers pass a reused scratch buffer (dst[:0]) to
+// keep the per-epoch reconcile loops allocation-free; the appended run is
+// sorted on its own, so dst may already hold unrelated entries.
+func (cl *Cluster) AppendContainersOf(function string, dst []*Container) []*Container {
+	start := len(dst)
+	for _, c := range cl.byFunc[function] {
+		dst = append(dst, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	tail := dst[start:]
+	slices.SortFunc(tail, func(a, b *Container) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		}
+		return 0
+	})
+	return dst
+}
+
+// EachContainerOf calls f for every live container of a function without
+// allocating. Iteration order is unspecified (it walks the internal map),
+// so callers must fold order-independent aggregates — anything
+// order-sensitive should use ContainersOf, which sorts by ID.
+func (cl *Cluster) EachContainerOf(function string, f func(*Container)) {
+	for _, c := range cl.byFunc[function] {
+		f(c)
+	}
 }
 
 // CPUOf returns the aggregate current CPU allocated to a function.

@@ -228,6 +228,12 @@ type Controller struct {
 	// grantDeadline is when the current grant lease lapses (0 = no lease:
 	// grants stay valid until explicitly replaced or cleared).
 	grantDeadline time.Duration
+	// liveScratch/drainScratch back liveContainers and drainingContainers.
+	// They are separate because reconcileNormal holds a live slice while it
+	// fetches the draining one; no caller holds two results of the SAME
+	// helper across a second call to it.
+	liveScratch  []*cluster.Container
+	drainScratch []*cluster.Container
 }
 
 // New builds a controller for the cluster.
@@ -366,9 +372,13 @@ func (ctl *Controller) serviceRate(f *Function) float64 {
 // liveContainers returns fn's containers that count toward its allocation
 // (Starting or Running; Draining containers are spare capacity pending
 // lazy reclaim).
+// The result aliases a controller-owned scratch buffer: it is valid only
+// until the next liveContainers call and must not be retained.
 func (ctl *Controller) liveContainers(fn string) []*cluster.Container {
-	var out []*cluster.Container
-	for _, c := range ctl.cluster.ContainersOf(fn) {
+	buf := ctl.cluster.AppendContainersOf(fn, ctl.liveScratch[:0])
+	ctl.liveScratch = buf
+	out := buf[:0]
+	for _, c := range buf {
 		if c.State() == cluster.Starting || c.State() == cluster.Running {
 			out = append(out, c)
 		}
@@ -376,9 +386,14 @@ func (ctl *Controller) liveContainers(fn string) []*cluster.Container {
 	return out
 }
 
+// drainingContainers mirrors liveContainers for the Draining state, on its
+// own scratch buffer (see the struct comment); the same retention rule
+// applies.
 func (ctl *Controller) drainingContainers(fn string) []*cluster.Container {
-	var out []*cluster.Container
-	for _, c := range ctl.cluster.ContainersOf(fn) {
+	buf := ctl.cluster.AppendContainersOf(fn, ctl.drainScratch[:0])
+	ctl.drainScratch = buf
+	out := buf[:0]
+	for _, c := range buf {
 		if c.State() == cluster.Draining {
 			out = append(out, c)
 		}

@@ -55,6 +55,10 @@ type Config struct {
 	// shared engine so several edge-site platforms advance on one virtual
 	// clock; such platforms are driven with Start/Collect rather than Run.
 	Engine *sim.Engine
+	// Scheduler selects the timer-queue implementation when the platform
+	// creates its own engine (ignored when Engine is set). All kinds
+	// produce identical results; see sim.SchedulerKind.
+	Scheduler sim.SchedulerKind
 }
 
 // FunctionResult aggregates one function's measurements over a run.
@@ -104,7 +108,7 @@ type Platform struct {
 func New(cfg Config) (*Platform, error) {
 	engine := cfg.Engine
 	if engine == nil {
-		engine = sim.NewEngine()
+		engine = sim.NewEngineWithScheduler(cfg.Scheduler)
 	}
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
@@ -186,33 +190,79 @@ func New(cfg Config) (*Platform, error) {
 	return p, nil
 }
 
-// startArrivals launches the Poisson arrival chain for one function.
+// arrivalBatch is how many upcoming arrival times a stream pre-generates
+// from its private RNG. Batching amortizes schedule lookups; because the
+// stream owns its RNG fork, pre-consuming deviates leaves results
+// bit-for-bit identical to one-at-a-time generation.
+const arrivalBatch = 64
+
+// arrivalStream drives one function's Poisson arrivals without allocating
+// per arrival: the fire callback is bound once, upcoming arrival times are
+// batch-generated into a fixed buffer, and each fired arrival schedules
+// only the next one — so the engine holds at most one pending timer per
+// (site, function) stream.
+type arrivalStream struct {
+	p      *Platform
+	arr    *workload.Arrivals
+	name   string
+	res    *FunctionResult
+	q      *dispatch.Queue
+	fireFn func()
+	buf    [arrivalBatch]time.Duration
+	n, i   int
+	ended  bool // the schedule produced a short batch: no more arrivals
+}
+
+func (s *arrivalStream) fire() {
+	s.res.Arrivals++
+	// Only locally-admitted requests feed the rate estimator: a request
+	// the offload hook diverts is served (and provisioned for) elsewhere,
+	// and counting it here would inflate this site's demand estimate with
+	// load it never serves.
+	if s.q.Arrive() != nil {
+		s.p.Controller.RecordArrival(s.name)
+	}
+	s.armNext()
+}
+
+// armNext schedules the next arrival from the buffer, refilling it from
+// the generator when drained. The refill continues from the last buffered
+// arrival time, which at that moment equals the engine's now.
+func (s *arrivalStream) armNext() {
+	if s.i == s.n {
+		if s.ended {
+			return
+		}
+		s.n = s.arr.NextN(s.p.Engine.Now(), s.buf[:])
+		s.i = 0
+		s.ended = s.n < len(s.buf)
+		if s.n == 0 {
+			return
+		}
+	}
+	s.p.Engine.Schedule(s.buf[s.i], s.fireFn)
+	s.i++
+}
+
+// startArrivals launches the Poisson arrival stream for one function.
 func (p *Platform) startArrivals(fc FunctionConfig) {
 	if fc.Workload == nil {
 		return
 	}
-	arr := workload.NewArrivals(fc.Workload, p.rng.Fork())
 	name := fc.Spec.Name
-	res := p.results[name]
-	var fire func(at time.Duration)
-	fire = func(at time.Duration) {
-		p.Engine.Schedule(at, func() {
-			res.Arrivals++
-			// Only locally-admitted requests feed the rate estimator: a
-			// request the offload hook diverts is served (and provisioned
-			// for) elsewhere, and counting it here would inflate this
-			// site's demand estimate with load it never serves.
-			if p.Queues[name].Arrive() != nil {
-				p.Controller.RecordArrival(name)
-			}
-			if next, ok := arr.Next(p.Engine.Now()); ok {
-				fire(next)
-			}
-		})
+	s := &arrivalStream{
+		p:    p,
+		arr:  workload.NewArrivals(fc.Workload, p.rng.Fork()),
+		name: name,
+		res:  p.results[name],
+		q:    p.Queues[name],
 	}
-	if first, ok := arr.Next(0); ok {
-		fire(first)
-	}
+	s.fireFn = s.fire
+	// The first batch starts from t=0 regardless of when the stream is
+	// installed, matching the schedule's origin.
+	s.n = s.arr.NextN(0, s.buf[:])
+	s.ended = s.n < len(s.buf)
+	s.armNext()
 }
 
 // record samples the allocation and utilization series.
@@ -224,12 +274,14 @@ func (p *Platform) record() {
 	for name, res := range p.results {
 		live := 0
 		var cpu int64
-		for _, c := range p.Cluster.ContainersOf(name) {
+		// Count and sum are order-independent, so the unordered
+		// allocation-free walk is safe here.
+		p.Cluster.EachContainerOf(name, func(c *cluster.Container) {
 			if c.State() == cluster.Starting || c.State() == cluster.Running {
 				live++
 				cpu += c.CPUCurrent
 			}
-		}
+		})
 		res.Containers.Record(now, float64(live))
 		res.CPU.Record(now, float64(cpu))
 		if f, ok := p.Controller.Function(name); ok {

@@ -25,6 +25,12 @@ import (
 )
 
 // Request is one function invocation traveling through the data path.
+//
+// Requests are pooled: the queue that created a request recycles it as soon
+// as its lifecycle ends — after the Done callback returns, after a timeout,
+// or after an Offload hook claims (and synchronously disposes of) it. Code
+// observing a request, including Done callbacks and Offload hooks, must not
+// retain the pointer past its own return; copy out any fields needed later.
 type Request struct {
 	ID       uint64
 	Function string
@@ -39,6 +45,8 @@ type Request struct {
 	// federation layer uses this to account end-to-end latency for
 	// requests it placed.
 	Done func(*Request)
+
+	pooled bool // guards against use of a recycled request
 }
 
 // Wait returns the queueing delay.
@@ -47,13 +55,50 @@ func (r *Request) Wait() time.Duration { return r.Start - r.Arrival }
 // Response returns the end-to-end latency.
 func (r *Request) Response() time.Duration { return r.Finish - r.Arrival }
 
-// wrrEntry is the smooth-WRR bookkeeping for one container.
+// wrrEntry is the smooth-WRR bookkeeping for one container. Completion and
+// timeout callbacks are bound once at attach time and the per-service state
+// (CPU fraction, sampled service time) is stashed in the entry, so starting
+// a request allocates nothing.
 type wrrEntry struct {
+	q        *Queue
 	c        *cluster.Container
 	current  float64
 	busy     bool
 	inflight *Request
-	done     *sim.Event
+	done     sim.Event
+
+	frac       float64
+	service    time.Duration
+	completeFn func()
+	timeoutFn  func()
+}
+
+func (e *wrrEntry) complete() {
+	q := e.q
+	r := e.inflight
+	e.busy = false
+	e.inflight = nil
+	r.Finish = q.engine.Now()
+	q.Responses.AddDuration(r.Response())
+	q.completed++
+	if q.OnComplete != nil {
+		q.OnComplete(e.frac, e.service)
+	}
+	if r.Done != nil {
+		r.Done(r)
+	}
+	q.release(r)
+	q.pump()
+}
+
+func (e *wrrEntry) timeout() {
+	q := e.q
+	r := e.inflight
+	e.busy = false
+	e.inflight = nil
+	q.timedOut++
+	q.release(r)
+	q.pump()
 }
 
 // Queue is the per-function dispatcher.
@@ -62,7 +107,9 @@ type Queue struct {
 	spec   functions.Spec
 	rng    *xrand.Rand
 
-	fifo    []*Request
+	fifo    []*Request // waiting requests live in fifo[head:]
+	head    int
+	pool    []*Request // recycled Request objects
 	entries map[cluster.ContainerID]*wrrEntry
 	nextID  uint64
 
@@ -122,7 +169,37 @@ func NewQueue(engine *sim.Engine, spec functions.Spec, sloDeadline time.Duration
 func (q *Queue) Spec() functions.Spec { return q.spec }
 
 // QueueLength returns the number of requests waiting (not in service).
-func (q *Queue) QueueLength() int { return len(q.fifo) }
+func (q *Queue) QueueLength() int { return len(q.fifo) - q.head }
+
+// alloc takes a request from the pool (or allocates one) and initializes it
+// as a fresh arrival.
+func (q *Queue) alloc() *Request {
+	var r *Request
+	if n := len(q.pool); n > 0 {
+		r = q.pool[n-1]
+		q.pool[n-1] = nil
+		q.pool = q.pool[:n-1]
+		*r = Request{}
+	} else {
+		r = &Request{}
+	}
+	q.nextID++
+	r.ID = q.nextID
+	r.Function = q.spec.Name
+	r.Arrival = q.engine.Now()
+	return r
+}
+
+// release returns a finished request to the pool. Releasing the same
+// request twice would alias two in-flight invocations, so it panics.
+func (q *Queue) release(r *Request) {
+	if r.pooled {
+		panic("dispatch: request released twice")
+	}
+	r.pooled = true
+	r.Done = nil
+	q.pool = append(q.pool, r)
+}
 
 // InFlight returns the number of requests currently in service.
 func (q *Queue) InFlight() int {
@@ -197,7 +274,10 @@ func (q *Queue) AddContainer(c *cluster.Container) error {
 	if _, dup := q.entries[c.ID]; dup {
 		return fmt.Errorf("dispatch: container %d already attached", c.ID)
 	}
-	q.entries[c.ID] = &wrrEntry{c: c}
+	e := &wrrEntry{q: q, c: c}
+	e.completeFn = e.complete
+	e.timeoutFn = e.timeout
+	q.entries[c.ID] = e
 	q.pump()
 	return nil
 }
@@ -217,10 +297,23 @@ func (q *Queue) RemoveContainer(c *cluster.Container) error {
 		r := e.inflight
 		r.Requeues++
 		q.requeued++
-		q.fifo = append([]*Request{r}, q.fifo...)
+		q.requeueFront(r)
 	}
 	q.pump()
 	return nil
+}
+
+// requeueFront puts an aborted in-flight request back at the head of the
+// FIFO, reusing the slack before head when the deque has one.
+func (q *Queue) requeueFront(r *Request) {
+	if q.head > 0 {
+		q.head--
+		q.fifo[q.head] = r
+		return
+	}
+	q.fifo = append(q.fifo, nil)
+	copy(q.fifo[1:], q.fifo)
+	q.fifo[0] = r
 }
 
 // Has reports whether the container is attached.
@@ -231,12 +324,14 @@ func (q *Queue) Has(c *cluster.Container) bool {
 
 // Arrive enqueues a new invocation at the current simulation time and
 // dispatches immediately if a container is idle. When an Offload hook is
-// set and claims the request, nothing is enqueued and Arrive returns nil.
+// set and claims the request, nothing is enqueued, the request is recycled
+// the moment the hook returns, and Arrive returns nil. The returned pointer
+// is only valid until the request's lifecycle ends (see Request).
 func (q *Queue) Arrive() *Request {
-	q.nextID++
-	r := &Request{ID: q.nextID, Function: q.spec.Name, Arrival: q.engine.Now()}
+	r := q.alloc()
 	if q.Offload != nil && q.Offload(r) {
 		q.offloaded++
+		q.release(r)
 		return nil
 	}
 	q.enqueue(r)
@@ -247,8 +342,7 @@ func (q *Queue) Arrive() *Request {
 // layer offloaded here. The Offload hook is deliberately not consulted, so
 // offloaded work cannot bounce between sites.
 func (q *Queue) ArriveOffloaded() *Request {
-	q.nextID++
-	r := &Request{ID: q.nextID, Function: q.spec.Name, Arrival: q.engine.Now()}
+	r := q.alloc()
 	q.enqueue(r)
 	return r
 }
@@ -285,54 +379,36 @@ func (q *Queue) selectIdle() *wrrEntry {
 // pump dispatches queued requests onto idle containers until one side runs
 // out.
 func (q *Queue) pump() {
-	for len(q.fifo) > 0 {
+	for q.head < len(q.fifo) {
 		e := q.selectIdle()
 		if e == nil {
 			return
 		}
-		r := q.fifo[0]
-		q.fifo = q.fifo[1:]
+		r := q.fifo[q.head]
+		q.fifo[q.head] = nil
+		q.head++
+		if q.head == len(q.fifo) {
+			q.fifo = q.fifo[:0]
+			q.head = 0
+		}
 		q.start(e, r)
 	}
 }
 
 // start begins service for r on e's container.
 func (q *Queue) start(e *wrrEntry, r *Request) {
-	now := q.engine.Now()
-	r.Start = now
+	r.Start = q.engine.Now()
 	q.Waits.AddDuration(r.Wait())
 	q.SLO.Observe(r.Wait())
-	frac := e.c.CPUFraction()
-	service := q.spec.SampleServiceTime(q.rng, frac)
-	if q.TimeLimit > 0 && service > q.TimeLimit {
-		// The platform kills the execution at the hard limit (§2.1); the
-		// container is occupied for the full limit, then freed.
-		e.busy = true
-		e.inflight = r
-		e.done = q.engine.After(q.TimeLimit, func() {
-			e.busy = false
-			e.inflight = nil
-			e.done = nil
-			q.timedOut++
-			q.pump()
-		})
-		return
-	}
+	e.frac = e.c.CPUFraction()
+	e.service = q.spec.SampleServiceTime(q.rng, e.frac)
 	e.busy = true
 	e.inflight = r
-	e.done = q.engine.After(service, func() {
-		e.busy = false
-		e.inflight = nil
-		e.done = nil
-		r.Finish = q.engine.Now()
-		q.Responses.AddDuration(r.Response())
-		q.completed++
-		if q.OnComplete != nil {
-			q.OnComplete(frac, service)
-		}
-		if r.Done != nil {
-			r.Done(r)
-		}
-		q.pump()
-	})
+	if q.TimeLimit > 0 && e.service > q.TimeLimit {
+		// The platform kills the execution at the hard limit (§2.1); the
+		// container is occupied for the full limit, then freed.
+		e.done = q.engine.After(q.TimeLimit, e.timeoutFn)
+		return
+	}
+	e.done = q.engine.After(e.service, e.completeFn)
 }

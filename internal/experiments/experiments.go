@@ -12,6 +12,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"lass/internal/sim"
 )
 
 // Table is a printable experiment result.
@@ -21,6 +23,11 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Engine, when present, is the nested engine-benchmark sub-table
+	// (events/sec and allocs across scheduler implementations) the
+	// fed-bench baseline carries alongside the sweep rows. Omitted from
+	// the JSON when nil, so older baselines parse unchanged.
+	Engine *Table `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -79,6 +86,16 @@ func (t *Table) Fprint(w io.Writer) {
 type Options struct {
 	Seed  uint64
 	Quick bool
+	// SweepWorkers is how many cells of a policy/seed/trace sweep run
+	// concurrently (0 or 1 = serial, the historical behaviour). Cells are
+	// independent simulations with private engines and RNG streams, and
+	// rows are emitted in canonical order after all cells complete, so the
+	// output is byte-identical at any worker count.
+	SweepWorkers int
+	// Scheduler selects the engine's timer-queue implementation for every
+	// simulation an experiment builds. All kinds produce identical
+	// results; see sim.SchedulerKind.
+	Scheduler sim.SchedulerKind
 	// Fed tunes the federation experiments (topology, trace source,
 	// cloud realism); the zero value keeps the defaults.
 	Fed FedOptions

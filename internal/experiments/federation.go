@@ -89,6 +89,7 @@ func federationConfig(opt Options, sites []core.Config, placer federation.Placer
 		Sites:                   sites,
 		Placer:                  placer,
 		Seed:                    opt.Seed ^ 0xfedc,
+		Scheduler:               opt.Scheduler,
 		CloudWarmWindow:         opt.Fed.CloudWarmWindow,
 		CloudAlwaysWarm:         opt.Fed.CloudAlwaysWarm,
 		CloudPricePerInvocation: opt.Fed.CloudPricePerInvocation,
@@ -223,6 +224,9 @@ func addFederationRows(t *Table, res *federation.Result) {
 type baselineTable struct {
 	Header []string
 	Rows   [][]string
+	// Engine is the nested engine-benchmark sub-table (nil in baselines
+	// predating it; MissingEngineScenarios treats that as fully stale).
+	Engine *baselineTable
 }
 
 func parseBaseline(baselineJSON []byte) (*baselineTable, error) {
@@ -354,7 +358,12 @@ func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 	if err != nil {
 		return err
 	}
-	for _, placer := range placers {
+	// Each policy is an independent cell: fresh sites, engine, and RNG
+	// streams per cell, results stored by index, rows appended in placer
+	// order afterwards — so serial and parallel sweeps emit identical rows.
+	results := make([]*federation.Result, len(placers))
+	err = forEachCell(len(placers), opt.SweepWorkers, func(i int) error {
+		placer := placers[i]
 		sites, end, err := build()
 		if err != nil {
 			return err
@@ -377,6 +386,13 @@ func sweepFederationPolicies(t *Table, opt Options, build siteBuilder) error {
 				return err
 			}
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
 		addFederationRows(t, res)
 	}
 	return nil

@@ -113,11 +113,15 @@ func FederationCoordinator(opt Options) (*Table, error) {
 		{label: "centroid, outage 0.44, leased", election: federation.RTTCentroid, outages: outage},
 		{label: "centroid, outage 0.44, frozen", election: federation.RTTCentroid, outages: outage, lease: -1},
 	}
+	// Each variant is an independent cell; rows and per-run notes are
+	// emitted in variant order after all cells complete, so the table is
+	// byte-identical at any worker count.
 	results := make([]*federation.Result, len(variants))
-	for i, v := range variants {
+	err = forEachCell(len(variants), opt.SweepWorkers, func(i int) error {
+		v := variants[i]
 		sites, end, err := coordinatorSites(opt, unit)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o := opt
 		o.Fed.GlobalFairShare = true
@@ -131,11 +135,11 @@ func FederationCoordinator(opt Options) (*Table, error) {
 		}
 		placer, err := federation.ParsePlacer(policy)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fcfg, err := federationConfig(o, sites, placer)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fcfg.Topology = topo
 		fcfg.CoordinatorElection = v.election
@@ -143,13 +147,20 @@ func FederationCoordinator(opt Options) (*Table, error) {
 		fcfg.GrantLease = v.lease
 		fed, err := federation.New(fcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := fed.Run(end)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		res := results[i]
 		addFederationRows(t, res)
 		t.AddNote("run %d (%s): coordinator %s, %d/%d epochs missed, %d lease expirations, mean grant delay %v",
 			i+1, v.label, coordinatorLabel(res), res.MissedAllocEpochs,
@@ -183,10 +194,12 @@ func FederationCoordinator(opt Options) (*Table, error) {
 
 // FederationBench produces the committed BENCH_federation.json baseline:
 // the synthetic offload-policy sweep plus the coordinator sweep's rows,
-// merged into one table over the shared federationSweepHeader, so the
-// baseline carries every column and coordinator scenario the CI guards
-// (MissingBaselineColumns, MissingBaselinePolicies,
-// MissingCoordinatorScenarios) check for. Regenerate with
+// merged into one table over the shared federationSweepHeader, with the
+// engine benchmark attached as the nested Engine sub-table — so the
+// baseline carries every column, coordinator scenario, and engine row the
+// CI guards (MissingBaselineColumns, MissingBaselinePolicies,
+// MissingCoordinatorScenarios, MissingEngineScenarios) check for.
+// Regenerate with
 //
 //	go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 func FederationBench(opt Options) (*Table, error) {
@@ -198,10 +211,15 @@ func FederationBench(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng, err := EngineBench(opt)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:     "federation-bench",
 		Title:  "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
 		Header: append([]string(nil), federationSweepHeader...),
+		Engine: eng,
 	}
 	for _, src := range []*Table{fed, coord} {
 		t.Rows = append(t.Rows, src.Rows...)

@@ -78,40 +78,59 @@ func FederationFairShare(opt Options) (*Table, error) {
 	if opt.Fed.Policy != "" {
 		policies = []string{opt.Fed.Policy}
 	}
+	// Flatten the (alloc mode × policy) grid into independent cells so the
+	// sweep parallelizes; rows are appended in grid order afterwards, so the
+	// table is byte-identical at any worker count.
+	type cell struct {
+		global bool
+		policy string
+	}
+	var cells []cell
 	for _, global := range []bool{false, true} {
 		for _, name := range policies {
-			placer, err := federation.ParsePlacer(name)
-			if err != nil {
-				return nil, err
-			}
-			o := opt
-			o.Fed.GlobalFairShare = global
-			o.Fed.Admission = true
-			if o.Fed.CloudMaxConcurrency == 0 {
-				// A throttled cloud (the real FaaS concurrency limit) is
-				// what makes edge-side efficiency matter: with an
-				// unbounded 100ms-away cloud, stranded edge capacity is
-				// free to waste.
-				o.Fed.CloudMaxConcurrency = 2
-			}
-			sites, end, err := build()
-			if err != nil {
-				return nil, err
-			}
-			fcfg, err := federationConfig(o, sites, placer)
-			if err != nil {
-				return nil, err
-			}
-			fed, err := federation.New(fcfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := fed.Run(end)
-			if err != nil {
-				return nil, err
-			}
-			addFederationRows(t, res)
+			cells = append(cells, cell{global: global, policy: name})
 		}
+	}
+	results := make([]*federation.Result, len(cells))
+	err = forEachCell(len(cells), opt.SweepWorkers, func(i int) error {
+		placer, err := federation.ParsePlacer(cells[i].policy)
+		if err != nil {
+			return err
+		}
+		o := opt
+		o.Fed.GlobalFairShare = cells[i].global
+		o.Fed.Admission = true
+		if o.Fed.CloudMaxConcurrency == 0 {
+			// A throttled cloud (the real FaaS concurrency limit) is
+			// what makes edge-side efficiency matter: with an
+			// unbounded 100ms-away cloud, stranded edge capacity is
+			// free to waste.
+			o.Fed.CloudMaxConcurrency = 2
+		}
+		sites, end, err := build()
+		if err != nil {
+			return err
+		}
+		fcfg, err := federationConfig(o, sites, placer)
+		if err != nil {
+			return err
+		}
+		fed, err := federation.New(fcfg)
+		if err != nil {
+			return err
+		}
+		res, err := fed.Run(end)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		addFederationRows(t, res)
 	}
 	t.AddNote("offload-aware admission (§3.4 coupled to placement) is on for every row: an overloaded origin offers along the policy's placement preferences and rejects only when no site's grant has headroom")
 	t.AddNote("policy=never rows allow no placement, so sheddable requests are rejected at the origin — the paper's single-cluster admission control verbatim")

@@ -54,23 +54,34 @@ func FederationPlacers(opt Options) (*Table, error) {
 	build := func() ([]core.Config, time.Duration, error) {
 		return federationTraceSites(o, rows, minutes)
 	}
-	for _, placer := range placers {
+	// One independent cell per policy; rows are appended in placer order
+	// after all cells complete, so the table is byte-identical at any
+	// worker count.
+	results := make([]*federation.Result, len(placers))
+	err = forEachCell(len(placers), opt.SweepWorkers, func(i int) error {
 		sites, end, err := build()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		fcfg, err := federationConfig(o, sites, placer)
+		fcfg, err := federationConfig(o, sites, placers[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fed, err := federation.New(fcfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := fed.Run(end)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
 		addFederationRows(t, res)
 	}
 	t.AddNote("every row runs under the federation-wide §4.1 allocator with offload-aware admission and a cloud throttled to %d concurrent instances per function", o.Fed.CloudMaxConcurrency)

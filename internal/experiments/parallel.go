@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// forEachCell runs n independent sweep cells, cell i via run(i), on up to
+// workers goroutines. Cells must be fully independent — each builds its own
+// configs, engine, and RNG streams — and must communicate results only by
+// writing to their own index of a pre-sized slice. Callers append table rows
+// (and notes) from those slices in index order after forEachCell returns, so
+// the emitted output is byte-identical whatever the worker count.
+//
+// workers <= 1 runs the cells serially in order, preserving the historical
+// fail-fast behaviour exactly. With workers > 1 every cell runs even when an
+// earlier one fails; the error returned is the failing cell with the lowest
+// index, so failures are deterministic too.
+func forEachCell(n, workers int, run func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

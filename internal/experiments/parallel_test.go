@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lass/internal/sim"
+)
+
+// renderTable serializes a table exactly as cmd/lass-sim writes it — the
+// CSV followed by the JSON — so a byte comparison covers rows, notes, and
+// ordering at once.
+func renderTable(t *testing.T, tab *Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSweepOutputIsByteIdentical is the parallel-runner determinism
+// regression: every federation sweep must emit byte-identical CSV and JSON
+// whether its cells run serially or across eight workers. Cells own their
+// engines and RNG streams and rows are emitted in canonical order after all
+// cells complete, so any divergence means shared mutable state leaked in.
+func TestParallelSweepOutputIsByteIdentical(t *testing.T) {
+	for _, id := range []string{
+		"federation",
+		"federation-fairshare",
+		"federation-placers",
+		"federation-coordinator",
+	} {
+		t.Run(id, func(t *testing.T) {
+			run := func(workers int) []byte {
+				tab, err := Run(id, Options{Seed: 7, Quick: true, SweepWorkers: workers})
+				if err != nil {
+					t.Fatalf("Run(%s, workers=%d): %v", id, workers, err)
+				}
+				return renderTable(t, tab)
+			}
+			serial := run(1)
+			parallel := run(8)
+			if !bytes.Equal(serial, parallel) {
+				t.Fatalf("%s: workers=8 output differs from workers=1\n--- serial ---\n%s\n--- parallel ---\n%s",
+					id, firstDiffContext(serial, parallel), firstDiffContext(parallel, serial))
+			}
+		})
+	}
+}
+
+// TestSchedulerKindsEmitIdenticalSweeps asserts the tiered-scheduler
+// contract end to end: a full federation sweep on the calendar queue emits
+// the same bytes as on the binary heap. Both schedulers order timers by
+// (time, sequence), so any difference is a scheduler ordering bug.
+func TestSchedulerKindsEmitIdenticalSweeps(t *testing.T) {
+	run := func(kind sim.SchedulerKind) []byte {
+		tab, err := Federation(Options{Seed: 7, Quick: true, Scheduler: kind})
+		if err != nil {
+			t.Fatalf("Federation(%v): %v", kind, err)
+		}
+		return renderTable(t, tab)
+	}
+	heap := run(sim.SchedulerHeap)
+	cal := run(sim.SchedulerCalendar)
+	if !bytes.Equal(heap, cal) {
+		t.Fatalf("calendar-scheduler sweep differs from heap:\n--- heap ---\n%s\n--- calendar ---\n%s",
+			firstDiffContext(heap, cal), firstDiffContext(cal, heap))
+	}
+}
+
+// firstDiffContext returns a short window of a around its first divergence
+// from b, keeping failure output readable for multi-kilobyte tables.
+func firstDiffContext(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	start := i - 120
+	if start < 0 {
+		start = 0
+	}
+	end := i + 120
+	if end > len(a) {
+		end = len(a)
+	}
+	return fmt.Sprintf("(diverges at byte %d) …%s…", i, a[start:end])
+}

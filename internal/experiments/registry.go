@@ -26,6 +26,7 @@ var Registry = map[string]Runner{
 	"federation-placers":     FederationPlacers,
 	"federation-coordinator": FederationCoordinator,
 	"federation-bench":       FederationBench,
+	"engine-bench":           EngineBench,
 	"openwhisk":              OpenWhisk,
 	"ablation-estimator":     AblationEstimator,
 	"ablation-placement":     AblationPlacement,

@@ -219,6 +219,10 @@ type Config struct {
 	// Engine set on a site config is replaced by the federation's shared
 	// engine.
 	Sites []core.Config
+	// Scheduler selects the shared engine's timer-queue implementation.
+	// All kinds produce bit-for-bit identical results; see
+	// sim.SchedulerKind.
+	Scheduler sim.SchedulerKind
 	// Placer is the placement policy consulted at every site's ingress.
 	// When nil, the deprecated Policy enum selects the equally-named
 	// built-in placer; custom policies come from RegisterPlacer /
@@ -403,7 +407,8 @@ type Site struct {
 	// local enforcement, typically because the coordinator went dark.
 	GrantLeaseExpirations uint64
 
-	peers []*Site // other sites, ascending RTT, ties by index
+	peers       []*Site // other sites, ascending RTT, ties by index
+	observeDone func(*dispatch.Request)
 }
 
 // Federation is an assembled multi-cluster deployment.
@@ -429,6 +434,12 @@ type Federation struct {
 	grantDelaySum     time.Duration
 	grantDeliveries   uint64
 	allocErr          error
+
+	// ctxScratch backs the PlacementContext handed to the placer on every
+	// ingress decision. The engine is single-threaded and Place must not
+	// retain its context (see Placer), so one reusable value keeps the
+	// per-request hot path allocation-free.
+	ctxScratch PlacementContext
 }
 
 // New assembles a federation: every site's platform is built on one shared
@@ -483,7 +494,7 @@ func New(cfg Config) (*Federation, error) {
 			return nil, err
 		}
 	}
-	engine := sim.NewEngine()
+	engine := sim.NewEngineWithScheduler(cfg.Scheduler)
 	f := &Federation{
 		Engine:     engine,
 		cfg:        cfg,
@@ -515,6 +526,10 @@ func New(cfg Config) (*Federation, error) {
 			Responses: metrics.NewReservoir(),
 			SLO:       metrics.NewSLOTracker(cfg.ResponseSLO),
 		}
+		// Bound once per site: the locally-served completion callback is
+		// on the hot path, and a per-request closure there would undo the
+		// dispatch layer's request pooling.
+		s.observeDone = func(r *dispatch.Request) { s.observe(r.Response()) }
 		f.Sites = append(f.Sites, s)
 	}
 	for _, s := range f.Sites {
@@ -596,7 +611,7 @@ func (f *Federation) wire(s *Site, q *dispatch.Queue) {
 			return true
 		default:
 			s.ServedLocal++
-			r.Done = func(r *dispatch.Request) { s.observe(r.Response()) }
+			r.Done = s.observeDone
 			return false
 		}
 	}
@@ -623,13 +638,14 @@ func (f *Federation) offeredLoadDemand(s *Site) bool {
 // custom placer participate in offload-aware admission without
 // special-casing.
 func (f *Federation) decide(s *Site, q *dispatch.Queue) Decision {
-	ctx := &PlacementContext{
+	f.ctxScratch = PlacementContext{
 		f:      f,
 		origin: s,
 		q:      q,
 		sheddable: f.cfg.OffloadAwareAdmission &&
 			f.overloaded(s, q.Spec().Name),
 	}
+	ctx := &f.ctxScratch
 	d := f.placer.Place(ctx)
 	if d.Kind == OffloadSite {
 		if d.Site < 0 || d.Site >= len(f.Sites) || d.Site == s.Index {

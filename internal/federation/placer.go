@@ -34,7 +34,9 @@ type Placer interface {
 	// peer target falls back to local service) and enforces §3.4 admission
 	// on sheddable requests: a sheddable request is never queued at its
 	// overloaded origin (ServeLocal becomes RejectRequest) and a cloud
-	// landing is gated by CloudAdmits.
+	// landing is gated by CloudAdmits. ctx is only valid for the duration
+	// of the call — the federation reuses one context value across
+	// decisions, so implementations must not retain it.
 	Place(ctx *PlacementContext) Decision
 }
 

@@ -102,14 +102,30 @@ func (m MMC) logP0() (float64, error) {
 		return 0, nil // log(1): empty system with certainty
 	}
 	logr := math.Log(r)
-	terms := make([]float64, 0, m.C+1)
-	for n := 0; n < m.C; n++ {
-		terms = append(terms, float64(n)*logr-logFactorial(n))
-	}
 	rho := m.Rho()
 	tail := float64(m.C)*logr - logFactorial(m.C) - math.Log(1-rho)
-	terms = append(terms, tail)
-	return -logSumExp(terms), nil
+	// Stream the log-sum-exp over the C+1 terms without materializing a
+	// slice. The terms are regenerated in the same order the slice held
+	// them (n = 0..C-1, then the tail), so the floating-point result is
+	// bit-identical to the materialized form.
+	max := math.Inf(-1)
+	for n := 0; n < m.C; n++ {
+		if x := float64(n)*logr - logFactorial(n); x > max {
+			max = x
+		}
+	}
+	if tail > max {
+		max = tail
+	}
+	if math.IsInf(max, -1) {
+		return -max, nil
+	}
+	var sum float64
+	for n := 0; n < m.C; n++ {
+		sum += math.Exp(float64(n)*logr - logFactorial(n) - max)
+	}
+	sum += math.Exp(tail - max)
+	return -(max + math.Log(sum)), nil
 }
 
 // P0 returns the steady-state probability of an empty system (Eq 2).
@@ -210,11 +226,23 @@ func (m MMC) ProbWaitLE(t float64) (float64, error) {
 	if L < 0 {
 		return 0, nil
 	}
-	terms := make([]float64, 0, L+1)
+	// Streamed log-sum-exp over logPn(0..L): logPn is pure, so the second
+	// pass regenerates exactly the values a slice would have held, in the
+	// same order — bit-identical, allocation-free at any L.
+	max := math.Inf(-1)
 	for n := 0; n <= L; n++ {
-		terms = append(terms, m.logPn(n, lp0))
+		if x := m.logPn(n, lp0); x > max {
+			max = x
+		}
 	}
-	p := math.Exp(logSumExp(terms))
+	if math.IsInf(max, -1) {
+		return 0, nil
+	}
+	var sum float64
+	for n := 0; n <= L; n++ {
+		sum += math.Exp(m.logPn(n, lp0) - max)
+	}
+	p := math.Exp(max + math.Log(sum))
 	if p > 1 {
 		p = 1 // guard against last-ulp rounding
 	}

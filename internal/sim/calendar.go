@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"sort"
+	"time"
+)
+
+// calendarQueue is an indexed calendar queue (R. Brown, "Calendar Queues: A
+// Fast O(1) Priority Queue Implementation for the Simulation Event Set
+// Problem", CACM 1988). Timers are spread across a power-of-two array of
+// buckets by ⌊at/width⌋ mod nbuckets — like days of a year across a wall
+// calendar — and a cursor walks the buckets in time order, so push and pop
+// are amortized O(1) when timestamps are spread evenly, the regime of
+// metro-scale arrival streams.
+//
+// Each bucket is kept sorted by (at, seq), so the queue yields exactly the
+// timerLess total order the engine requires; simulations are bit-for-bit
+// identical to the heap scheduler. The queue resizes (doubling or halving
+// the bucket count and re-estimating the width from observed gaps) when the
+// population drifts outside [nbuckets/2, 2·nbuckets].
+type calendarQueue struct {
+	buckets [][]timer     // each sorted ascending by timerLess
+	mask    int           // len(buckets)-1; len is a power of two
+	width   time.Duration // virtual time covered by one bucket
+	n       int           // timers stored across all buckets
+	cur     int           // bucket the dequeue cursor is on
+	curTop  time.Duration // end of cur's current year-slice; multiple of width
+}
+
+const (
+	calMinBuckets    = 4
+	calDefaultWidth  = time.Millisecond
+	calResizeSamples = 128
+)
+
+func newCalendarQueue() *calendarQueue {
+	c := &calendarQueue{width: calDefaultWidth}
+	c.buckets = make([][]timer, calMinBuckets)
+	c.mask = calMinBuckets - 1
+	return c
+}
+
+func (c *calendarQueue) len() int { return c.n }
+
+func (c *calendarQueue) bucketOf(at time.Duration) int {
+	return int(uint64(at)/uint64(c.width)) & c.mask
+}
+
+// yearEnd returns the smallest multiple of width strictly greater than at:
+// the upper edge of the bucket slice containing at.
+func (c *calendarQueue) yearEnd(at time.Duration) time.Duration {
+	return (at/c.width + 1) * c.width
+}
+
+func (c *calendarQueue) push(tm timer) {
+	if c.n == 0 || tm.at < c.curTop-c.width {
+		// Re-anchor the cursor at the new timer: either the queue was
+		// empty (the cursor is stale from the last pop), or the timer
+		// lands before the cursor's current year-slice (pushes are not
+		// monotone) and would otherwise hide behind it. Moving the
+		// cursor backward is always safe — the scan only takes longer —
+		// and keeps the invariant that no stored timer precedes the
+		// cursor's slice.
+		c.cur = c.bucketOf(tm.at)
+		c.curTop = c.yearEnd(tm.at)
+	}
+	idx := c.bucketOf(tm.at)
+	b := c.buckets[idx]
+	// Insertion sort from the back: pushes are usually in roughly
+	// increasing time order, so the common case is a plain append.
+	i := len(b)
+	b = append(b, tm)
+	for i > 0 && timerLess(tm, b[i-1]) {
+		b[i] = b[i-1]
+		i--
+	}
+	b[i] = tm
+	c.buckets[idx] = b
+	c.n++
+	if c.n > 2*len(c.buckets) {
+		c.rebuild(len(c.buckets) * 2)
+	}
+}
+
+func (c *calendarQueue) pop() (timer, bool) {
+	if c.n == 0 {
+		return timer{}, false
+	}
+	if nb := len(c.buckets); nb > calMinBuckets && c.n < nb/2 {
+		c.rebuild(nb / 2)
+	}
+	// Scan at most one full year from the cursor. Every stored timer is at
+	// or after the last popped time, so nothing can hide behind the
+	// cursor; the head of the current bucket is in the current year-slice
+	// iff its timestamp is below curTop.
+	for scanned := 0; scanned <= c.mask; scanned++ {
+		b := c.buckets[c.cur]
+		if len(b) > 0 && b[0].at < c.curTop {
+			return c.take(c.cur), true
+		}
+		c.cur = (c.cur + 1) & c.mask
+		c.curTop += c.width
+	}
+	// Nothing within a whole year of the cursor (a long gap in virtual
+	// time): jump straight to the global minimum and re-anchor there.
+	best := -1
+	for i, b := range c.buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if best < 0 || timerLess(b[0], c.buckets[best][0]) {
+			best = i
+		}
+	}
+	tm := c.buckets[best][0]
+	c.cur = best
+	c.curTop = c.yearEnd(tm.at)
+	return c.take(best), true
+}
+
+// take removes and returns the head of bucket i.
+func (c *calendarQueue) take(i int) timer {
+	b := c.buckets[i]
+	tm := b[0]
+	copy(b, b[1:])
+	c.buckets[i] = b[:len(b)-1]
+	c.n--
+	return tm
+}
+
+func (c *calendarQueue) compact(dead func(timer) bool) {
+	for i, b := range c.buckets {
+		live := b[:0]
+		for _, tm := range b {
+			if !dead(tm) {
+				live = append(live, tm)
+			}
+		}
+		c.n -= len(b) - len(live)
+		c.buckets[i] = live
+	}
+	// Re-bucket: the sweep may have removed enough timers that the old
+	// geometry (and width estimate) no longer fits the survivors.
+	nb := len(c.buckets)
+	for nb > calMinBuckets && c.n < nb/2 {
+		nb /= 2
+	}
+	c.rebuild(nb)
+}
+
+// rebuild redistributes every timer across nb buckets, re-estimating the
+// bucket width from the observed gaps between adjacent timestamps. Timers
+// are distributed in sorted order, so each new bucket is built by plain
+// appends and stays sorted.
+func (c *calendarQueue) rebuild(nb int) {
+	all := make([]timer, 0, c.n)
+	for _, b := range c.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return timerLess(all[i], all[j]) })
+
+	c.width = estimateWidth(all, c.width)
+	c.buckets = make([][]timer, nb)
+	c.mask = nb - 1
+	for _, tm := range all {
+		i := c.bucketOf(tm.at)
+		c.buckets[i] = append(c.buckets[i], tm)
+	}
+	if c.n > 0 {
+		// all is sorted, so all[0] is the global minimum.
+		c.cur = c.bucketOf(all[0].at)
+		c.curTop = c.yearEnd(all[0].at)
+	}
+}
+
+// estimateWidth picks a bucket width from the gaps between adjacent
+// timestamps in the sorted timer slice: twice the trimmed-mean gap, so a
+// bucket holds a couple of timers on average while outlier gaps (idle
+// stretches) cannot inflate the estimate. Falls back to the previous width
+// when there are too few distinct timestamps to measure.
+func estimateWidth(sorted []timer, prev time.Duration) time.Duration {
+	if len(sorted) < 2 {
+		return prev
+	}
+	stride := 1
+	if len(sorted) > calResizeSamples {
+		stride = len(sorted) / calResizeSamples
+	}
+	gaps := make([]time.Duration, 0, calResizeSamples+1)
+	for i := stride; i < len(sorted); i += stride {
+		if g := sorted[i].at - sorted[i-stride].at; g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return prev // all timestamps equal: width is irrelevant for order
+	}
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	lo, hi := len(gaps)/4, 3*len(gaps)/4
+	if hi == lo {
+		hi = lo + 1
+	}
+	var sum time.Duration
+	for _, g := range gaps[lo:hi] {
+		sum += g
+	}
+	mean := sum / time.Duration(hi-lo)
+	// Each sampled gap spans stride adjacent-timer gaps, so scale the mean
+	// back down to one gap before doubling — otherwise the width inflates
+	// by stride^2 on large populations and every timer lands in the same
+	// bucket, degrading push to O(n).
+	w := time.Duration(float64(mean) * 2 / float64(stride))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

@@ -3,15 +3,24 @@
 //
 // The paper evaluates LaSS on a physical 3-node OpenWhisk cluster; this
 // repository substitutes a discrete-event simulated edge cluster (see
-// DESIGN.md §1). The engine provides a virtual clock, an event heap with
+// DESIGN.md §1). The engine provides a virtual clock, a timer queue with
 // stable FIFO ordering for simultaneous events, periodic tasks, and a Clock
 // abstraction shared with the wall-clock runtime so the LaSS controller code
 // is identical in both modes.
+//
+// The hot path is allocation-free in steady state: timers are stored by
+// value inside the scheduler, and callback slots are recycled through a
+// free list, so a run that schedules and fires millions of events reuses a
+// small working set instead of churning the garbage collector. Two
+// scheduler implementations are available behind the same Engine API — a
+// binary heap (default) and an indexed calendar queue for very large
+// pending sets — and both honor the same (timestamp, sequence) total order,
+// so simulations are bit-for-bit identical regardless of which one runs.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -24,88 +33,174 @@ type Clock interface {
 	Now() time.Duration
 }
 
-// Event is a scheduled callback. Events fire in timestamp order; events with
+// SchedulerKind selects the timer-queue implementation behind an Engine.
+// All kinds produce bit-for-bit identical simulations; they differ only in
+// constant factors at different pending-set sizes.
+type SchedulerKind int
+
+const (
+	// SchedulerHeap is a value-typed binary heap: O(log n) push/pop with
+	// excellent constants at small and medium pending counts. The default.
+	SchedulerHeap SchedulerKind = iota
+	// SchedulerCalendar is an indexed calendar queue (Brown, CACM 1988):
+	// amortized O(1) push/pop when timestamps are spread evenly, which is
+	// the regime of metro-scale arrival streams.
+	SchedulerCalendar
+)
+
+// String returns the flag-friendly name of the kind.
+func (k SchedulerKind) String() string {
+	switch k {
+	case SchedulerHeap:
+		return "heap"
+	case SchedulerCalendar:
+		return "calendar"
+	}
+	return fmt.Sprintf("SchedulerKind(%d)", int(k))
+}
+
+// ParseSchedulerKind parses a -scheduler flag value.
+func ParseSchedulerKind(s string) (SchedulerKind, error) {
+	switch s {
+	case "heap", "":
+		return SchedulerHeap, nil
+	case "calendar":
+		return SchedulerCalendar, nil
+	}
+	return SchedulerHeap, fmt.Errorf("sim: unknown scheduler %q (want heap or calendar)", s)
+}
+
+// timer is the value stored inside a scheduler: when to fire, the global
+// FIFO tie-break sequence, and which callback slot to invoke. Cancellation
+// is lazy — a timer whose slot generation no longer matches is a corpse and
+// is discarded when popped (or swept out by compact).
+type timer struct {
+	at   time.Duration
+	seq  uint64
+	slot uint32
+	gen  uint32
+}
+
+// timerLess orders timers by (at, seq): timestamp order with FIFO
+// tie-breaking. seq is unique, so this is a strict total order and every
+// correct scheduler yields the same firing sequence.
+func timerLess(a, b timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// scheduler is the priority-queue interface behind Engine. Implementations
+// must pop timers in timerLess order and need not know about cancellation:
+// the engine filters corpses after popping and sweeps them via compact.
+type scheduler interface {
+	push(tm timer)
+	pop() (timer, bool)
+	len() int
+	// compact removes every timer for which dead reports true, preserving
+	// the pop order of the survivors.
+	compact(dead func(timer) bool)
+}
+
+// slot is one recyclable callback cell. gen increments whenever the slot's
+// current timer is consumed (fired or cancelled), which atomically
+// invalidates all outstanding Event handles and scheduler entries that
+// reference the old generation.
+type slot struct {
+	fn  func()
+	gen uint32
+}
+
+// Event is a handle to a scheduled callback, returned by Schedule and
+// After. It is a small value (not a pointer): copying it is cheap and the
+// zero value behaves like an already-consumed event, so structs embedding
+// an Event need no nil checks. Events fire in timestamp order; events with
 // equal timestamps fire in scheduling (FIFO) order, which keeps simulations
 // deterministic.
 type Event struct {
-	at   time.Duration
-	seq  uint64
-	fn   func()
-	dead bool
-	idx  int
-	eng  *Engine
+	eng *Engine
+	at  time.Duration
+	idx uint32
+	gen uint32
 }
 
-// Cancel marks the event so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e == nil || e.dead {
+// Cancel marks the event so it will not fire. Cancelling an already-fired,
+// already-cancelled, or zero-value event is a no-op. Cancellation is O(1):
+// the callback slot is released immediately and the queued timer becomes a
+// corpse that is either discarded when popped or swept out once corpses
+// outnumber live timers.
+func (ev Event) Cancel() {
+	e := ev.eng
+	if e == nil {
 		return
 	}
-	e.dead = true
-	if e.eng != nil && e.idx >= 0 {
-		e.eng.dead++
-		e.eng.maybeCompact()
+	s := &e.slots[ev.idx]
+	if s.gen != ev.gen {
+		return // already fired or cancelled
 	}
+	s.gen++
+	s.fn = nil
+	e.free = append(e.free, ev.idx)
+	e.dead++
+	e.maybeCompact()
 }
 
-// Cancelled reports whether the event has been cancelled.
-func (e *Event) Cancelled() bool { return e == nil || e.dead }
+// Cancelled reports whether the event will no longer fire — because it was
+// cancelled, because it already fired, or because the handle is the zero
+// value.
+func (ev Event) Cancelled() bool {
+	return ev.eng == nil || ev.eng.slots[ev.idx].gen != ev.gen
+}
 
 // At returns the scheduled fire time of the event.
-func (e *Event) At() time.Duration { return e.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
+func (ev Event) At() time.Duration { return ev.at }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; all model code runs inside event callbacks on the caller's
 // goroutine.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
-	fired  uint64
-	dead   int // cancelled events still in the heap
+	now   time.Duration
+	seq   uint64
+	sched scheduler
+	kind  SchedulerKind
+	slots []slot
+	free  []uint32 // free-list of recyclable slot indices
+	fired uint64
+	dead  int // cancelled timers still queued in the scheduler
+
+	deadFn func(timer) bool // bound corpse predicate, allocated once
 }
 
-// NewEngine returns an engine with the virtual clock at zero.
+// NewEngine returns an engine with the virtual clock at zero, using the
+// default (heap) scheduler.
 func NewEngine() *Engine {
-	return &Engine{}
+	return NewEngineWithScheduler(SchedulerHeap)
 }
+
+// NewEngineWithScheduler returns an engine using the given timer-queue
+// implementation. The choice affects speed only, never results.
+func NewEngineWithScheduler(kind SchedulerKind) *Engine {
+	e := &Engine{kind: kind}
+	switch kind {
+	case SchedulerCalendar:
+		e.sched = newCalendarQueue()
+	default:
+		e.sched = &heapScheduler{}
+	}
+	e.deadFn = func(tm timer) bool { return e.slots[tm.slot].gen != tm.gen }
+	return e
+}
+
+// Scheduler returns which timer-queue implementation the engine uses.
+func (e *Engine) Scheduler() SchedulerKind { return e.kind }
 
 // Now returns the current virtual time. Engine implements Clock.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of timers currently queued (including
+// cancelled timers that have not yet been discarded).
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Fired returns the total number of events that have executed.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -113,47 +208,70 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Schedule queues fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) panics: it always indicates a model bug, and silently
 // reordering time would corrupt results.
-func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(at time.Duration, fn func()) Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e}
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = uint32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.fn = fn
+	e.sched.push(timer{at: at, seq: e.seq, slot: idx, gen: s.gen})
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	return Event{eng: e, at: at, idx: idx, gen: s.gen}
 }
 
-// maybeCompact rebuilds the heap without cancelled events once they
+// maybeCompact sweeps cancelled timers out of the scheduler once they
 // outnumber the live ones. This bounds Pending() at roughly twice the live
-// event count on long runs that cancel heavily (periodic tasks stopped,
-// in-flight work aborted), instead of letting dead events pile up until
-// their timestamps are popped. Amortized cost is O(1) per cancellation:
-// after a compaction the heap must shrink-by-cancel to half again before
-// the next one.
+// timer count on long runs that cancel heavily (periodic tasks stopped,
+// in-flight work aborted), instead of letting corpses pile up until their
+// timestamps are popped. Amortized cost is O(1) per cancellation: after a
+// sweep the queue must shrink-by-cancel to half again before the next one.
 func (e *Engine) maybeCompact() {
-	if e.dead*2 <= len(e.events) {
+	if e.dead*2 <= e.sched.len() {
 		return
 	}
-	old := e.events
-	live := old[:0]
-	for _, ev := range old {
-		if ev.dead {
-			ev.idx = -1
+	e.sched.compact(e.deadFn)
+	e.dead = 0
+}
+
+// popLive removes and returns the next live timer with at <= deadline,
+// consuming its callback slot. It is the single place corpses are drained
+// (and e.dead decremented), so Step and RunUntil cannot disagree on the
+// bookkeeping. A live timer beyond the deadline is pushed back — its
+// (at, seq) key is unchanged, so the pop order is unaffected — and ok is
+// false.
+func (e *Engine) popLive(deadline time.Duration) (at time.Duration, fn func(), ok bool) {
+	for {
+		tm, any := e.sched.pop()
+		if !any {
+			return 0, nil, false
+		}
+		s := &e.slots[tm.slot]
+		if s.gen != tm.gen {
+			e.dead-- // cancelled corpse
 			continue
 		}
-		ev.idx = len(live)
-		live = append(live, ev)
+		if tm.at > deadline {
+			e.sched.push(tm)
+			return 0, nil, false
+		}
+		fn = s.fn
+		s.fn = nil
+		s.gen++
+		e.free = append(e.free, tm.slot)
+		return tm.at, fn, true
 	}
-	for i := len(live); i < len(old); i++ {
-		old[i] = nil
-	}
-	e.events = live
-	e.dead = 0
-	heap.Init(&e.events)
 }
 
 // After queues fn to run d after the current virtual time.
-func (e *Engine) After(d time.Duration, fn func()) *Event {
+func (e *Engine) After(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -166,7 +284,7 @@ func (e *Engine) Every(period time.Duration, fn func()) *Task {
 	if period <= 0 {
 		panic("sim: Every with non-positive period")
 	}
-	t := &Task{engine: e, period: period, fn: fn}
+	t := newTask(e, period, fn)
 	t.arm()
 	return t
 }
@@ -181,8 +299,8 @@ func (e *Engine) EveryFrom(start, period time.Duration, fn func()) *Task {
 	if start < e.now {
 		start = e.now
 	}
-	t := &Task{engine: e, period: period, fn: fn}
-	t.ev = e.Schedule(start, t.tick)
+	t := newTask(e, period, fn)
+	t.ev = e.Schedule(start, t.tickFn)
 	return t
 }
 
@@ -191,12 +309,19 @@ type Task struct {
 	engine  *Engine
 	period  time.Duration
 	fn      func()
-	ev      *Event
+	tickFn  func() // bound once so re-arming does not allocate a method value
+	ev      Event
 	stopped bool
 }
 
+func newTask(e *Engine, period time.Duration, fn func()) *Task {
+	t := &Task{engine: e, period: period, fn: fn}
+	t.tickFn = t.tick
+	return t
+}
+
 func (t *Task) arm() {
-	t.ev = t.engine.After(t.period, t.tick)
+	t.ev = t.engine.After(t.period, t.tickFn)
 }
 
 func (t *Task) tick() {
@@ -218,39 +343,28 @@ func (t *Task) Stop() {
 // Step executes the single next event, advancing the clock to its timestamp.
 // It returns false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.dead {
-			e.dead--
-			continue
-		}
-		e.now = ev.at
-		e.fired++
-		ev.fn()
-		return true
+	at, fn, ok := e.popLive(math.MaxInt64)
+	if !ok {
+		return false
 	}
-	return false
+	e.now = at
+	e.fired++
+	fn()
+	return true
 }
 
 // RunUntil executes events until the virtual clock would pass deadline or no
 // events remain. The clock is left at deadline if it was reached, so
 // measurements of elapsed simulated time are exact.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for len(e.events) > 0 {
-		// Peek without popping so an event after the deadline stays queued.
-		next := e.events[0]
-		if next.dead {
-			heap.Pop(&e.events)
-			e.dead--
-			continue
-		}
-		if next.at > deadline {
+	for {
+		at, fn, ok := e.popLive(deadline)
+		if !ok {
 			break
 		}
-		heap.Pop(&e.events)
-		e.now = next.at
+		e.now = at
 		e.fired++
-		next.fn()
+		fn()
 	}
 	if e.now < deadline {
 		e.now = deadline
@@ -260,6 +374,78 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 // Run executes events until none remain.
 func (e *Engine) Run() {
 	for e.Step() {
+	}
+}
+
+// heapScheduler is a value-typed binary min-heap over timers: the default
+// scheduler. Unlike container/heap it stores timers inline (no interface
+// boxing, no per-event allocation) and pays no virtual dispatch on the
+// sift paths.
+type heapScheduler struct {
+	h []timer
+}
+
+func (s *heapScheduler) push(tm timer) {
+	s.h = append(s.h, tm)
+	s.up(len(s.h) - 1)
+}
+
+func (s *heapScheduler) pop() (timer, bool) {
+	if len(s.h) == 0 {
+		return timer{}, false
+	}
+	top := s.h[0]
+	n := len(s.h) - 1
+	s.h[0] = s.h[n]
+	s.h = s.h[:n]
+	if n > 0 {
+		s.down(0)
+	}
+	return top, true
+}
+
+func (s *heapScheduler) len() int { return len(s.h) }
+
+func (s *heapScheduler) compact(dead func(timer) bool) {
+	live := s.h[:0]
+	for _, tm := range s.h {
+		if !dead(tm) {
+			live = append(live, tm)
+		}
+	}
+	s.h = live
+	for i := len(s.h)/2 - 1; i >= 0; i-- {
+		s.down(i)
+	}
+}
+
+func (s *heapScheduler) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !timerLess(s.h[i], s.h[p]) {
+			break
+		}
+		s.h[i], s.h[p] = s.h[p], s.h[i]
+		i = p
+	}
+}
+
+func (s *heapScheduler) down(i int) {
+	n := len(s.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && timerLess(s.h[r], s.h[l]) {
+			m = r
+		}
+		if !timerLess(s.h[m], s.h[i]) {
+			return
+		}
+		s.h[i], s.h[m] = s.h[m], s.h[i]
+		i = m
 	}
 }
 

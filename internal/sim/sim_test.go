@@ -5,77 +5,107 @@ import (
 	"time"
 )
 
+// engines runs f against every scheduler implementation: the engine API
+// contract must hold identically for all of them.
+func engines(t *testing.T, f func(t *testing.T, e *Engine)) {
+	t.Helper()
+	for _, kind := range []SchedulerKind{SchedulerHeap, SchedulerCalendar} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			f(t, NewEngineWithScheduler(kind))
+		})
+	}
+}
+
 func TestEventsFireInTimestampOrder(t *testing.T) {
-	e := NewEngine()
-	var order []int
-	e.Schedule(3*time.Second, func() { order = append(order, 3) })
-	e.Schedule(1*time.Second, func() { order = append(order, 1) })
-	e.Schedule(2*time.Second, func() { order = append(order, 2) })
-	e.Run()
-	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
-		t.Errorf("order = %v", order)
-	}
-	if e.Now() != 3*time.Second {
-		t.Errorf("clock = %v", e.Now())
-	}
+	engines(t, func(t *testing.T, e *Engine) {
+		var order []int
+		e.Schedule(3*time.Second, func() { order = append(order, 3) })
+		e.Schedule(1*time.Second, func() { order = append(order, 1) })
+		e.Schedule(2*time.Second, func() { order = append(order, 2) })
+		e.Run()
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+			t.Errorf("order = %v", order)
+		}
+		if e.Now() != 3*time.Second {
+			t.Errorf("clock = %v", e.Now())
+		}
+	})
 }
 
 func TestSimultaneousEventsFIFO(t *testing.T) {
-	e := NewEngine()
-	var order []int
-	for i := 0; i < 10; i++ {
-		i := i
-		e.Schedule(time.Second, func() { order = append(order, i) })
-	}
-	e.Run()
-	for i, v := range order {
-		if v != i {
-			t.Fatalf("FIFO violated: %v", order)
+	engines(t, func(t *testing.T, e *Engine) {
+		var order []int
+		for i := 0; i < 10; i++ {
+			i := i
+			e.Schedule(time.Second, func() { order = append(order, i) })
 		}
-	}
+		e.Run()
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("FIFO violated: %v", order)
+			}
+		}
+	})
 }
 
 func TestSchedulePastPanics(t *testing.T) {
-	e := NewEngine()
-	e.Schedule(time.Second, func() {})
-	e.Run()
-	defer func() {
-		if recover() == nil {
-			t.Error("want panic scheduling in the past")
-		}
-	}()
-	e.Schedule(500*time.Millisecond, func() {})
+	engines(t, func(t *testing.T, e *Engine) {
+		e.Schedule(time.Second, func() {})
+		e.Run()
+		defer func() {
+			if recover() == nil {
+				t.Error("want panic scheduling in the past")
+			}
+		}()
+		e.Schedule(500*time.Millisecond, func() {})
+	})
 }
 
 func TestCancel(t *testing.T) {
-	e := NewEngine()
-	fired := false
-	ev := e.Schedule(time.Second, func() { fired = true })
-	ev.Cancel()
-	e.Run()
-	if fired {
-		t.Error("cancelled event fired")
-	}
-	if !ev.Cancelled() {
-		t.Error("Cancelled() false")
-	}
-	var nilEv *Event
-	nilEv.Cancel() // must not panic
-	if !nilEv.Cancelled() {
-		t.Error("nil event should report cancelled")
-	}
+	engines(t, func(t *testing.T, e *Engine) {
+		fired := false
+		ev := e.Schedule(time.Second, func() { fired = true })
+		ev.Cancel()
+		e.Run()
+		if fired {
+			t.Error("cancelled event fired")
+		}
+		if !ev.Cancelled() {
+			t.Error("Cancelled() false")
+		}
+		var zero Event
+		zero.Cancel() // must not panic
+		if !zero.Cancelled() {
+			t.Error("zero-value event should report cancelled")
+		}
+	})
+}
+
+func TestCancelledAfterFire(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		ev := e.Schedule(time.Second, func() {})
+		if ev.Cancelled() {
+			t.Error("pending event reports cancelled")
+		}
+		e.Run()
+		if !ev.Cancelled() {
+			t.Error("fired event should report it will no longer fire")
+		}
+	})
 }
 
 func TestAfterRelativeScheduling(t *testing.T) {
-	e := NewEngine()
-	var at time.Duration
-	e.Schedule(2*time.Second, func() {
-		e.After(3*time.Second, func() { at = e.Now() })
+	engines(t, func(t *testing.T, e *Engine) {
+		var at time.Duration
+		e.Schedule(2*time.Second, func() {
+			e.After(3*time.Second, func() { at = e.Now() })
+		})
+		e.Run()
+		if at != 5*time.Second {
+			t.Errorf("After fired at %v want 5s", at)
+		}
 	})
-	e.Run()
-	if at != 5*time.Second {
-		t.Errorf("After fired at %v want 5s", at)
-	}
 	// Negative delay clamps to now.
 	e2 := NewEngine()
 	ran := false
@@ -89,40 +119,42 @@ func TestAfterRelativeScheduling(t *testing.T) {
 }
 
 func TestEveryPeriodicAndStop(t *testing.T) {
-	e := NewEngine()
-	count := 0
-	var task *Task
-	task = e.Every(time.Second, func() {
-		count++
-		if count == 5 {
-			task.Stop()
+	engines(t, func(t *testing.T, e *Engine) {
+		count := 0
+		var task *Task
+		task = e.Every(time.Second, func() {
+			count++
+			if count == 5 {
+				task.Stop()
+			}
+		})
+		e.RunUntil(time.Minute)
+		if count != 5 {
+			t.Errorf("ticks = %d want 5", count)
 		}
+		if e.Now() != time.Minute {
+			t.Errorf("clock = %v want 1m", e.Now())
+		}
+		task.Stop() // double stop is a no-op
 	})
-	e.RunUntil(time.Minute)
-	if count != 5 {
-		t.Errorf("ticks = %d want 5", count)
-	}
-	if e.Now() != time.Minute {
-		t.Errorf("clock = %v want 1m", e.Now())
-	}
-	task.Stop() // double stop is a no-op
 }
 
 func TestEveryFrom(t *testing.T) {
-	e := NewEngine()
-	var times []time.Duration
-	task := e.EveryFrom(0, 10*time.Second, func() { times = append(times, e.Now()) })
-	e.RunUntil(25 * time.Second)
-	task.Stop()
-	want := []time.Duration{0, 10 * time.Second, 20 * time.Second}
-	if len(times) != len(want) {
-		t.Fatalf("ticks at %v", times)
-	}
-	for i := range want {
-		if times[i] != want[i] {
-			t.Errorf("tick %d at %v want %v", i, times[i], want[i])
+	engines(t, func(t *testing.T, e *Engine) {
+		var times []time.Duration
+		task := e.EveryFrom(0, 10*time.Second, func() { times = append(times, e.Now()) })
+		e.RunUntil(25 * time.Second)
+		task.Stop()
+		want := []time.Duration{0, 10 * time.Second, 20 * time.Second}
+		if len(times) != len(want) {
+			t.Fatalf("ticks at %v", times)
 		}
-	}
+		for i := range want {
+			if times[i] != want[i] {
+				t.Errorf("tick %d at %v want %v", i, times[i], want[i])
+			}
+		}
+	})
 }
 
 func TestEveryFromPastStartClamps(t *testing.T) {
@@ -145,59 +177,85 @@ func TestEveryFromPastStartClamps(t *testing.T) {
 	}
 }
 
-func TestCancelCompactsHeap(t *testing.T) {
-	e := NewEngine()
-	const total, keep = 1000, 10
-	events := make([]*Event, 0, total)
-	fired := 0
-	for i := 0; i < total; i++ {
-		events = append(events, e.Schedule(time.Hour, func() { fired++ }))
-	}
-	for i := keep; i < total; i++ {
-		events[i].Cancel()
-	}
-	// Compaction keeps dead events at no more than half the heap, so
-	// Pending is bounded by twice the live count (plus one for an odd
-	// heap) instead of holding all 990 corpses until they are popped.
-	if bound := 2*keep + 1; e.Pending() > bound {
-		t.Errorf("Pending=%d after cancelling %d of %d, want <= %d", e.Pending(), total-keep, total, bound)
-	}
-	e.Run()
-	if fired != keep {
-		t.Errorf("fired=%d want %d", fired, keep)
-	}
+func TestCancelCompactsQueue(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		const total, keep = 1000, 10
+		events := make([]Event, 0, total)
+		fired := 0
+		for i := 0; i < total; i++ {
+			events = append(events, e.Schedule(time.Hour, func() { fired++ }))
+		}
+		for i := keep; i < total; i++ {
+			events[i].Cancel()
+		}
+		// Compaction keeps dead timers at no more than half the queue, so
+		// Pending is bounded by twice the live count (plus one for an odd
+		// queue) instead of holding all 990 corpses until they are popped.
+		if bound := 2*keep + 1; e.Pending() > bound {
+			t.Errorf("Pending=%d after cancelling %d of %d, want <= %d", e.Pending(), total-keep, total, bound)
+		}
+		e.Run()
+		if fired != keep {
+			t.Errorf("fired=%d want %d", fired, keep)
+		}
+	})
 }
 
-func TestStopCompactsHeap(t *testing.T) {
-	e := NewEngine()
-	var tasks []*Task
-	for i := 0; i < 500; i++ {
-		tasks = append(tasks, e.Every(time.Hour, func() {}))
-	}
-	for _, task := range tasks {
-		task.Stop()
-	}
-	if e.Pending() > 1 {
-		t.Errorf("Pending=%d after stopping every task, want <= 1", e.Pending())
-	}
-	e.Run()
-	if e.Fired() != 0 {
-		t.Errorf("Fired=%d want 0", e.Fired())
-	}
+func TestStopCompactsQueue(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		var tasks []*Task
+		for i := 0; i < 500; i++ {
+			tasks = append(tasks, e.Every(time.Hour, func() {}))
+		}
+		for _, task := range tasks {
+			task.Stop()
+		}
+		if e.Pending() > 1 {
+			t.Errorf("Pending=%d after stopping every task, want <= 1", e.Pending())
+		}
+		e.Run()
+		if e.Fired() != 0 {
+			t.Errorf("Fired=%d want 0", e.Fired())
+		}
+	})
 }
 
 func TestCancelAfterFireIsNoop(t *testing.T) {
-	e := NewEngine()
-	ev := e.Schedule(time.Second, func() {})
-	e.Schedule(2*time.Second, func() {})
-	e.Run()
-	ev.Cancel() // already fired: must not corrupt the dead-event counter
-	ev.Cancel()
-	e.Schedule(3*time.Second, func() {})
-	e.Run()
-	if e.Fired() != 3 {
-		t.Errorf("Fired=%d want 3", e.Fired())
-	}
+	engines(t, func(t *testing.T, e *Engine) {
+		ev := e.Schedule(time.Second, func() {})
+		e.Schedule(2*time.Second, func() {})
+		e.Run()
+		ev.Cancel() // already fired: must not corrupt the dead-timer counter
+		ev.Cancel()
+		e.Schedule(3*time.Second, func() {})
+		e.Run()
+		if e.Fired() != 3 {
+			t.Errorf("Fired=%d want 3", e.Fired())
+		}
+	})
+}
+
+// TestStaleHandleAfterSlotReuse pins down the generation check: once an
+// event has fired, its slot may be recycled for a new event, and the old
+// handle must neither cancel nor observe the new occupant.
+func TestStaleHandleAfterSlotReuse(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		old := e.Schedule(time.Second, func() {})
+		e.Run()
+		fired := false
+		fresh := e.Schedule(2*time.Second, func() { fired = true })
+		old.Cancel() // stale handle: must not cancel the reused slot
+		if fresh.Cancelled() {
+			t.Fatal("stale Cancel hit the recycled slot")
+		}
+		e.Run()
+		if !fired {
+			t.Error("event in recycled slot did not fire")
+		}
+		if !old.Cancelled() {
+			t.Error("stale handle should report cancelled")
+		}
+	})
 }
 
 func TestEveryInvalidPeriodPanics(t *testing.T) {
@@ -211,57 +269,229 @@ func TestEveryInvalidPeriodPanics(t *testing.T) {
 }
 
 func TestRunUntilLeavesFutureEvents(t *testing.T) {
-	e := NewEngine()
-	fired := 0
-	e.Schedule(time.Second, func() { fired++ })
-	e.Schedule(10*time.Second, func() { fired++ })
-	e.RunUntil(5 * time.Second)
-	if fired != 1 {
-		t.Errorf("fired=%d want 1", fired)
-	}
-	if e.Pending() != 1 {
-		t.Errorf("pending=%d want 1", e.Pending())
-	}
-	if e.Now() != 5*time.Second {
-		t.Errorf("clock=%v want 5s", e.Now())
-	}
-	e.RunUntil(15 * time.Second)
-	if fired != 2 {
-		t.Errorf("fired=%d want 2", fired)
-	}
+	engines(t, func(t *testing.T, e *Engine) {
+		fired := 0
+		e.Schedule(time.Second, func() { fired++ })
+		e.Schedule(10*time.Second, func() { fired++ })
+		e.RunUntil(5 * time.Second)
+		if fired != 1 {
+			t.Errorf("fired=%d want 1", fired)
+		}
+		if e.Pending() != 1 {
+			t.Errorf("pending=%d want 1", e.Pending())
+		}
+		if e.Now() != 5*time.Second {
+			t.Errorf("clock=%v want 5s", e.Now())
+		}
+		e.RunUntil(15 * time.Second)
+		if fired != 2 {
+			t.Errorf("fired=%d want 2", fired)
+		}
+	})
 }
 
 func TestStepReturnsFalseWhenEmpty(t *testing.T) {
-	e := NewEngine()
-	if e.Step() {
-		t.Error("Step on empty engine returned true")
-	}
-	e.Schedule(time.Second, func() {})
-	if !e.Step() {
-		t.Error("Step with events returned false")
-	}
-	if e.Fired() != 1 {
-		t.Errorf("Fired=%d", e.Fired())
-	}
+	engines(t, func(t *testing.T, e *Engine) {
+		if e.Step() {
+			t.Error("Step on empty engine returned true")
+		}
+		e.Schedule(time.Second, func() {})
+		if !e.Step() {
+			t.Error("Step with events returned false")
+		}
+		if e.Fired() != 1 {
+			t.Errorf("Fired=%d", e.Fired())
+		}
+	})
 }
 
 func TestEventsScheduledDuringRun(t *testing.T) {
-	e := NewEngine()
-	depth := 0
-	var recurse func()
-	recurse = func() {
-		depth++
-		if depth < 100 {
-			e.After(time.Millisecond, recurse)
+	engines(t, func(t *testing.T, e *Engine) {
+		depth := 0
+		var recurse func()
+		recurse = func() {
+			depth++
+			if depth < 100 {
+				e.After(time.Millisecond, recurse)
+			}
+		}
+		e.Schedule(0, recurse)
+		e.Run()
+		if depth != 100 {
+			t.Errorf("depth=%d", depth)
+		}
+		if e.Now() != 99*time.Millisecond {
+			t.Errorf("clock=%v", e.Now())
+		}
+	})
+}
+
+// TestPendingNeverUndercounts is the regression test for the old engine's
+// double bookkeeping: Step and RunUntil each drained corpses with their own
+// dead-- path, so an interleaving of cancels, compactions, and mixed
+// Step/RunUntil draining could drive the dead counter negative and make
+// Pending undercount. All draining now goes through popLive; this hammers
+// the interleaving and checks the books after every operation.
+func TestPendingNeverUndercounts(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		check := func(op string, live int) {
+			t.Helper()
+			if e.Pending() < live {
+				t.Fatalf("after %s: Pending=%d below live=%d", op, e.Pending(), live)
+			}
+			if e.dead < 0 {
+				t.Fatalf("after %s: dead counter negative (%d)", op, e.dead)
+			}
+			if e.dead > e.Pending() {
+				t.Fatalf("after %s: dead=%d exceeds Pending=%d", op, e.dead, e.Pending())
+			}
+		}
+		fired := 0
+		live := 0
+		base := e.Now()
+		for round := 0; round < 50; round++ {
+			evs := make([]Event, 0, 40)
+			for i := 0; i < 40; i++ {
+				evs = append(evs, e.Schedule(base+time.Duration(round+1)*time.Second+time.Duration(i)*time.Millisecond, func() { fired++ }))
+				live++
+			}
+			// Cancel a majority to force repeated compactions.
+			for i := 0; i < 30; i++ {
+				evs[i].Cancel()
+				live--
+				check("cancel", live)
+			}
+			// Drain alternately via Step and RunUntil.
+			if round%2 == 0 {
+				for i := 0; i < 5 && e.Step(); i++ {
+					live--
+					check("step", live)
+				}
+			} else {
+				e.RunUntil(base + time.Duration(round+1)*time.Second + 4*time.Millisecond)
+				live = 0
+				for _, ev := range evs {
+					if !ev.Cancelled() {
+						live++
+					}
+				}
+				check("rununtil", live)
+			}
+			// Cancel survivors so each round starts clean.
+			for _, ev := range evs {
+				if !ev.Cancelled() {
+					ev.Cancel()
+					live--
+					check("cleanup-cancel", live)
+				}
+			}
+		}
+		e.Run()
+		if e.Pending() != 0 {
+			t.Errorf("Pending=%d after Run, want 0", e.Pending())
+		}
+		if e.dead != 0 {
+			t.Errorf("dead=%d after Run, want 0", e.dead)
+		}
+	})
+}
+
+// TestSteadyStateSteppingDoesNotAllocate verifies the slot-pool design:
+// once the engine has reached its high-water mark, a schedule/fire cycle
+// reuses pooled storage and allocates nothing.
+func TestSteadyStateSteppingDoesNotAllocate(t *testing.T) {
+	engines(t, func(t *testing.T, e *Engine) {
+		fn := func() {}
+		// Warm up to the high-water mark.
+		for i := 0; i < 1000; i++ {
+			e.After(time.Duration(i)*time.Millisecond, fn)
+		}
+		e.Run()
+		var d time.Duration
+		allocs := testing.AllocsPerRun(1000, func() {
+			d += time.Millisecond
+			e.After(d, fn)
+			e.Step()
+		})
+		if allocs > 0.1 {
+			t.Errorf("steady-state schedule+fire allocates %.2f objects/op, want 0", allocs)
+		}
+	})
+}
+
+// TestCalendarSparseGaps drives the calendar queue through its
+// direct-search fallback: events separated by far more than a full bucket
+// rotation must still fire in order.
+func TestCalendarSparseGaps(t *testing.T) {
+	e := NewEngineWithScheduler(SchedulerCalendar)
+	var times []time.Duration
+	record := func() { times = append(times, e.Now()) }
+	e.Schedule(time.Microsecond, record)
+	e.Schedule(100*time.Hour, record)
+	e.Schedule(200*time.Hour, record)
+	e.Schedule(200*time.Hour+time.Nanosecond, record)
+	e.Run()
+	want := []time.Duration{time.Microsecond, 100 * time.Hour, 200 * time.Hour, 200*time.Hour + time.Nanosecond}
+	if len(times) != len(want) {
+		t.Fatalf("fired at %v want %v", times, want)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("event %d at %v want %v", i, times[i], want[i])
 		}
 	}
-	e.Schedule(0, recurse)
-	e.Run()
-	if depth != 100 {
-		t.Errorf("depth=%d", depth)
+}
+
+// TestCalendarResize pushes the population up and down across resize
+// thresholds while checking pop order.
+func TestCalendarResize(t *testing.T) {
+	e := NewEngineWithScheduler(SchedulerCalendar)
+	var prev time.Duration = -1
+	check := func() {
+		now := e.Now()
+		if now < prev {
+			t.Fatalf("time went backwards: %v after %v", now, prev)
+		}
+		prev = now
 	}
-	if e.Now() != 99*time.Millisecond {
-		t.Errorf("clock=%v", e.Now())
+	// Grow: thousands of events across a wide span.
+	for i := 0; i < 5000; i++ {
+		e.Schedule(time.Duration(i%977)*time.Millisecond+time.Duration(i)*time.Microsecond, check)
+	}
+	// Drain most (shrink path), interleaving new pushes.
+	for i := 0; i < 4000; i++ {
+		e.Step()
+	}
+	for i := 0; i < 100; i++ {
+		e.After(time.Duration(i)*time.Second, check)
+	}
+	e.Run()
+	if e.Fired() != 5100 {
+		t.Errorf("Fired=%d want 5100", e.Fired())
+	}
+}
+
+func TestParseSchedulerKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SchedulerKind
+		err  bool
+	}{
+		{"heap", SchedulerHeap, false},
+		{"", SchedulerHeap, false},
+		{"calendar", SchedulerCalendar, false},
+		{"splay", SchedulerHeap, true},
+	} {
+		got, err := ParseSchedulerKind(tc.in)
+		if (err != nil) != tc.err {
+			t.Errorf("ParseSchedulerKind(%q) err=%v want err=%v", tc.in, err, tc.err)
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("ParseSchedulerKind(%q)=%v want %v", tc.in, got, tc.want)
+		}
+	}
+	if SchedulerHeap.String() != "heap" || SchedulerCalendar.String() != "calendar" {
+		t.Error("SchedulerKind.String mismatch")
 	}
 }
 

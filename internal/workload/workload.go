@@ -196,6 +196,26 @@ func (a *Arrivals) Next(after time.Duration) (time.Duration, bool) {
 	}
 }
 
+// NextN fills out with consecutive arrival times, the first strictly after
+// the given time, consuming random deviates exactly as the equivalent
+// sequence of Next calls would — so batch generation is bit-for-bit
+// identical to one-at-a-time generation. It returns the number of arrivals
+// produced; fewer than len(out) means the schedule ended.
+func (a *Arrivals) NextN(after time.Duration, out []time.Duration) int {
+	n := 0
+	t := after
+	for n < len(out) {
+		next, ok := a.Next(t)
+		if !ok {
+			break
+		}
+		out[n] = next
+		n++
+		t = next
+	}
+	return n
+}
+
 // ExpectedCount returns ∫λ(t)dt over [from, to] — the expected number of
 // arrivals, used by tests to validate the sampler.
 func (s *Schedule) ExpectedCount(from, to time.Duration) float64 {
