@@ -43,7 +43,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	for _, id := range ids {
-		start := time.Now()
+		start := time.Now() //lass:wallclock bench wall timing
 		tab, err := experiments.Run(id, opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lass-bench: %s: %v\n", id, err)
@@ -57,7 +57,7 @@ func main() {
 			}
 		case "text":
 			tab.Fprint(os.Stdout)
-			fmt.Printf("  (%s generated in %.1fs)\n\n", id, time.Since(start).Seconds())
+			fmt.Printf("  (%s generated in %.1fs)\n\n", id, time.Since(start).Seconds()) //lass:wallclock
 		default:
 			fmt.Fprintf(os.Stderr, "lass-bench: unknown format %q\n", *format)
 			os.Exit(1)

@@ -1,0 +1,83 @@
+// Command lass-lint runs the determinism and hot-path analyzer suite over
+// the module (see internal/analysis). It exits non-zero when any analyzer
+// reports a finding, so CI can gate merges on it exactly like gofmt and
+// go vet:
+//
+//	go run ./cmd/lass-lint ./...
+//
+// Flags:
+//
+//	-tests=false   skip _test.go files and external test packages
+//	-only a,b      run only the named analyzers
+//	-list          print the suite's analyzers and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"lass/internal/analysis"
+)
+
+func main() {
+	tests := flag.Bool("tests", true, "analyze _test.go files and external test packages too")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var sel []analysis.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name()] {
+				sel = append(sel, a)
+				delete(keep, a.Name())
+			}
+		}
+		if len(keep) > 0 {
+			unknown := make([]string, 0, len(keep))
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "lass-lint: unknown analyzer(s) %s (use -list)\n", strings.Join(unknown, ", "))
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lass-lint:", err)
+		os.Exit(2)
+	}
+	ds, err := analysis.Run(wd, patterns, *tests, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lass-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range ds {
+		fmt.Println(d.String())
+	}
+	if len(ds) > 0 {
+		fmt.Fprintf(os.Stderr, "lass-lint: %d finding(s)\n", len(ds))
+		os.Exit(1)
+	}
+}

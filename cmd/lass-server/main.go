@@ -66,7 +66,7 @@ func main() {
 			frac := realtime.CPUFraction(ctx)
 			d := time.Duration(float64(spec.MeanServiceTime) * spec.ServiceTimeMultiplier(frac))
 			select {
-			case <-time.After(d):
+			case <-time.After(d): //lass:wallclock emulated live service time
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}

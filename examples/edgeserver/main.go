@@ -19,6 +19,7 @@ import (
 	"lass/internal/controller"
 )
 
+//lass:wallclock interactive demo of the real-time platform.
 func main() {
 	platform, err := lass.NewRealtime(lass.RealtimeConfig{
 		Cluster: cluster.Config{Nodes: 3, CPUPerNode: 4000, MemPerNode: 16384, Policy: cluster.WorstFit},

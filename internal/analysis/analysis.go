@@ -1,0 +1,119 @@
+// Package analysis hosts lass-lint's determinism and hot-path analyzers.
+//
+// The simulator's headline guarantees — bit-for-bit identical output across
+// heap/calendar schedulers, byte-identical serial vs. parallel sweeps, and
+// an allocation-free metro hot path — are behavioural invariants that one
+// stray wall-clock read, unordered map iteration, or reordered float
+// reduction silently breaks. The analyzers here turn those invariants into
+// compile-time checks, run by cmd/lass-lint over the whole module and
+// gated in CI alongside gofmt and go vet.
+//
+// Analyzers communicate with the source through a small annotation
+// vocabulary (always a comment starting exactly with "//lass:"):
+//
+//	//lass:wallclock   this line / function is a sanctioned wall-clock or
+//	                   ambient-randomness site (real-time adapters, bench
+//	                   timing) — detrand skips it
+//	//lass:unordered   this map iteration is order-independent by
+//	                   construction — maporder skips it
+//	//lass:bitexact    this function's float arithmetic must be bit-exact:
+//	                   floatorder forbids map iteration and goroutines in
+//	                   its body
+//	//lass:acquires    this function returns an owned pooled object;
+//	                   donerelease tracks every local bound to its result
+//	//lass:releases    this function consumes (recycles) its first
+//	                   pointer argument; using the object afterwards is a
+//	                   use-after-release
+//	//lass:transfers   this function takes ownership of its first pointer
+//	                   argument without recycling it (e.g. enqueue); the
+//	                   caller's release obligation ends but the pointer
+//	                   stays usable
+//
+// The suite loads packages with nothing beyond the standard library:
+// `go list -json` enumerates the module, `go list -deps -export -json`
+// yields compiled export data for every dependency, and go/types checks
+// the module's own sources against that export data.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pkg is one loaded, type-checked package (its own sources, with imports
+// resolved from compiled export data).
+type Pkg struct {
+	Path  string // import path ("lass/internal/sim"); XTest packages get a "_test" suffix
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	Ann   *Annotations
+}
+
+// Analyzer is one lint pass over a loaded package.
+type Analyzer interface {
+	Name() string
+	Doc() string
+	Run(p *Pkg) []Diagnostic
+}
+
+// DefaultAnalyzers returns the full lass-lint suite.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		Detrand{},
+		Maporder{},
+		Donerelease{},
+		Floatorder{},
+		Nilness{},
+	}
+}
+
+// Run loads the packages matched by patterns (rooted at dir) and applies
+// every analyzer, returning diagnostics in (file, line, column, analyzer)
+// order. Load or type errors abort: the linters require well-typed input.
+func Run(dir string, patterns []string, tests bool, analyzers []Analyzer) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns, tests)
+	if err != nil {
+		return nil, err
+	}
+	var ds []Diagnostic
+	for _, p := range pkgs {
+		for _, a := range analyzers {
+			ds = append(ds, a.Run(p)...)
+		}
+	}
+	sortDiagnostics(ds)
+	return ds, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

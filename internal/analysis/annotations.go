@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotation tags understood by the suite. The comment text must start
+// exactly with "//lass:<tag>"; anything after the tag (rationale) is free
+// form and encouraged.
+const (
+	AnnWallclock = "wallclock"
+	AnnUnordered = "unordered"
+	AnnBitexact  = "bitexact"
+	AnnAcquires  = "acquires"
+	AnnReleases  = "releases"
+	AnnTransfers = "transfers"
+)
+
+// Annotations indexes every //lass: comment in a package two ways: by
+// (file, line) for statement-level sanctions, and by function declaration
+// for whole-function ones.
+type Annotations struct {
+	fset *token.FileSet
+	// lines maps file -> line -> set of tags. A tag on line L applies to
+	// lines L and L+1, so both trailing comments and a lead comment on
+	// its own line sanction the statement they accompany.
+	lines map[string]map[int]map[string]bool
+	// funcs maps a FuncDecl (by its Pos) to the tags in its doc comment.
+	funcs map[token.Pos]map[string]bool
+}
+
+func buildAnnotations(fset *token.FileSet, files []*ast.File) *Annotations {
+	a := &Annotations{
+		fset:  fset,
+		lines: make(map[string]map[int]map[string]bool),
+		funcs: make(map[token.Pos]map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				tag, ok := parseTag(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := a.lines[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					a.lines[pos.Filename] = byLine
+				}
+				if byLine[pos.Line] == nil {
+					byLine[pos.Line] = make(map[string]bool)
+				}
+				byLine[pos.Line][tag] = true
+			}
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if tag, ok := parseTag(c.Text); ok {
+					if a.funcs[fd.Pos()] == nil {
+						a.funcs[fd.Pos()] = make(map[string]bool)
+					}
+					a.funcs[fd.Pos()][tag] = true
+				}
+			}
+		}
+	}
+	return a
+}
+
+func parseTag(text string) (string, bool) {
+	const prefix = "//lass:"
+	if !strings.HasPrefix(text, prefix) {
+		return "", false
+	}
+	rest := text[len(prefix):]
+	if i := strings.IndexFunc(rest, func(r rune) bool {
+		return r == ' ' || r == '\t'
+	}); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// OnLine reports whether tag annotates the line holding pos (either as a
+// trailing comment on the same line or as a lead comment on the line
+// above).
+func (a *Annotations) OnLine(pos token.Pos, tag string) bool {
+	p := a.fset.Position(pos)
+	byLine := a.lines[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[p.Line][tag] || byLine[p.Line-1][tag]
+}
+
+// FuncHas reports whether the function's doc comment carries tag.
+func (a *Annotations) FuncHas(fd *ast.FuncDecl, tag string) bool {
+	if fd == nil {
+		return false
+	}
+	return a.funcs[fd.Pos()][tag]
+}
+
+// Sanctioned reports whether pos is covered by tag either on its own line
+// or at the level of the enclosing function declaration.
+func (a *Annotations) Sanctioned(pos token.Pos, tag string, enclosing *ast.FuncDecl) bool {
+	return a.OnLine(pos, tag) || a.FuncHas(enclosing, tag)
+}
+
+// eachFuncDecl invokes fn for every function declaration with a body.
+func eachFuncDecl(p *Pkg, fn func(*ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// cfgBlock is one basic block of the intra-procedural control-flow graph:
+// a run of statements executed in order, then edges to successors. A block
+// ending the function (return, panic, or falling off the body) points to
+// the shared exit block.
+type cfgBlock struct {
+	stmts []ast.Stmt
+	succs []*cfgBlock
+	// returns holds the terminating ReturnStmt when this block ends in
+	// one (the leak check anchors its diagnostic there).
+	returns *ast.ReturnStmt
+}
+
+// funcCFG is the control-flow graph of one function body.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock // synthetic: every normal termination flows here
+	blocks []*cfgBlock
+	ok     bool // false when the body uses control flow the builder skips
+}
+
+// buildCFG converts a function body into basic blocks. The builder covers
+// the control flow the simulator actually uses — blocks, if/else, for,
+// range, switch, type switch, break/continue (unlabeled), return, and
+// panic — and reports ok=false on goto, labeled branches, select, and
+// fallthrough, making analyses that depend on it skip the function rather
+// than reason unsoundly.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{ok: true}
+	g.exit = g.newBlock()
+	g.entry = g.newBlock()
+	last := g.stmtList(g.entry, body.List, nil)
+	if last != nil {
+		g.edge(last, g.exit)
+	}
+	return g
+}
+
+func (g *funcCFG) newBlock() *cfgBlock {
+	b := &cfgBlock{}
+	g.blocks = append(g.blocks, b)
+	return b
+}
+
+func (g *funcCFG) edge(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// loopCtx carries the targets of unlabeled break/continue.
+type loopCtx struct {
+	breakTo    *cfgBlock
+	continueTo *cfgBlock
+	isSwitch   bool
+	outer      *loopCtx
+}
+
+func (l *loopCtx) loop() *loopCtx {
+	for c := l; c != nil; c = c.outer {
+		if !c.isSwitch {
+			return c
+		}
+	}
+	return nil
+}
+
+// stmtList threads cur through the statements; a nil return means the
+// path terminated (return/panic/branch).
+func (g *funcCFG) stmtList(cur *cfgBlock, list []ast.Stmt, ctx *loopCtx) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminator; ignore it.
+			return nil
+		}
+		cur = g.stmt(cur, s, ctx)
+		if !g.ok {
+			return nil
+		}
+	}
+	return cur
+}
+
+func (g *funcCFG) stmt(cur *cfgBlock, s ast.Stmt, ctx *loopCtx) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return g.stmtList(cur, s.List, ctx)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Cond})
+		thenB := g.newBlock()
+		g.edge(cur, thenB)
+		thenEnd := g.stmtList(thenB, s.Body.List, ctx)
+		join := g.newBlock()
+		if thenEnd != nil {
+			g.edge(thenEnd, join)
+		}
+		if s.Else != nil {
+			elseB := g.newBlock()
+			g.edge(cur, elseB)
+			elseEnd := g.stmt(elseB, s.Else, ctx)
+			if elseEnd != nil {
+				g.edge(elseEnd, join)
+			}
+		} else {
+			g.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		head := g.newBlock()
+		g.edge(cur, head)
+		if s.Cond != nil {
+			head.stmts = append(head.stmts, &ast.ExprStmt{X: s.Cond})
+		}
+		after := g.newBlock()
+		post := g.newBlock()
+		body := g.newBlock()
+		g.edge(head, body)
+		if s.Cond != nil {
+			g.edge(head, after) // condition false
+		}
+		inner := &loopCtx{breakTo: after, continueTo: post, outer: ctx}
+		bodyEnd := g.stmtList(body, s.Body.List, inner)
+		if bodyEnd != nil {
+			g.edge(bodyEnd, post)
+		}
+		if s.Post != nil {
+			post.stmts = append(post.stmts, s.Post)
+		}
+		g.edge(post, head)
+		return after
+
+	case *ast.RangeStmt:
+		// Model the range as: eval X; loop { bind key/value; body }.
+		cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.X})
+		head := g.newBlock()
+		g.edge(cur, head)
+		after := g.newBlock()
+		g.edge(head, after) // zero iterations
+		body := g.newBlock()
+		g.edge(head, body)
+		body.stmts = append(body.stmts, s) // the RangeStmt itself stands for the per-iteration binding
+		inner := &loopCtx{breakTo: after, continueTo: head, outer: ctx}
+		bodyEnd := g.stmtList(body, s.Body.List, inner)
+		if bodyEnd != nil {
+			g.edge(bodyEnd, head)
+		}
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		if s.Tag != nil {
+			cur.stmts = append(cur.stmts, &ast.ExprStmt{X: s.Tag})
+		}
+		return g.switchBody(cur, s.Body, ctx)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.stmts = append(cur.stmts, s.Init)
+		}
+		cur.stmts = append(cur.stmts, s.Assign)
+		return g.switchBody(cur, s.Body, ctx)
+
+	case *ast.ReturnStmt:
+		cur.stmts = append(cur.stmts, s)
+		cur.returns = s
+		g.edge(cur, g.exit)
+		return nil
+
+	case *ast.BranchStmt:
+		if s.Label != nil {
+			g.ok = false
+			return nil
+		}
+		switch s.Tok.String() {
+		case "break":
+			if ctx == nil {
+				g.ok = false
+				return nil
+			}
+			g.edge(cur, ctx.breakTo)
+			return nil
+		case "continue":
+			l := ctx.loop()
+			if l == nil {
+				g.ok = false
+				return nil
+			}
+			g.edge(cur, l.continueTo)
+			return nil
+		default: // goto, fallthrough
+			g.ok = false
+			return nil
+		}
+
+	case *ast.ExprStmt:
+		cur.stmts = append(cur.stmts, s)
+		if isPanicCall(s.X) {
+			// A panicking path carries no release obligation.
+			return nil
+		}
+		return cur
+
+	case *ast.LabeledStmt, *ast.SelectStmt:
+		g.ok = false
+		return nil
+
+	default:
+		// Assignments, declarations, go/defer, send, incdec, empty:
+		// straight-line.
+		cur.stmts = append(cur.stmts, s)
+		return cur
+	}
+}
+
+func (g *funcCFG) switchBody(cur *cfgBlock, body *ast.BlockStmt, ctx *loopCtx) *cfgBlock {
+	join := g.newBlock()
+	inner := &loopCtx{breakTo: join, isSwitch: true, outer: ctx}
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			g.ok = false
+			return nil
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseB := g.newBlock()
+		for _, e := range cc.List {
+			caseB.stmts = append(caseB.stmts, &ast.ExprStmt{X: e})
+		}
+		g.edge(cur, caseB)
+		end := g.stmtList(caseB, cc.Body, inner)
+		if end != nil {
+			g.edge(end, join)
+		}
+	}
+	if !hasDefault {
+		g.edge(cur, join)
+	}
+	return join
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Detrand forbids ambient time and randomness in simulation code: all time
+// must flow through the engine clock (sim.Engine.Now) and all randomness
+// through the seeded xrand generators, or a replayed sweep stops being a
+// function of its seed. Wall-clock entry points in package time and any
+// use of math/rand or math/rand/v2 are flagged unless the line or the
+// enclosing function carries //lass:wallclock (real-time adapters and
+// bench timing are the sanctioned exceptions).
+type Detrand struct{}
+
+func (Detrand) Name() string { return "detrand" }
+
+func (Detrand) Doc() string {
+	return "forbid wall-clock reads and unseeded randomness outside //lass:wallclock sites"
+}
+
+// wallClockFuncs are the package-time entry points that observe or depend
+// on the machine clock. Pure conversions and constructors (time.Duration,
+// time.Date, time.Unix) are fine: they are deterministic in their inputs.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+func (Detrand) Run(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	for _, f := range p.Files {
+		// Walk declaration by declaration so every finding knows its
+		// enclosing function (for function-level sanctions).
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				var msg string
+				switch obj.Pkg().Path() {
+				case "time":
+					if wallClockFuncs[obj.Name()] {
+						msg = fmt.Sprintf("time.%s reads the wall clock; simulation time must come from the engine clock (annotate //lass:wallclock if this site is sanctioned)", obj.Name())
+					}
+				case "math/rand", "math/rand/v2":
+					msg = fmt.Sprintf("%s.%s is ambient randomness; use a seeded xrand generator (annotate //lass:wallclock if this site is sanctioned)", obj.Pkg().Path(), obj.Name())
+				}
+				if msg == "" {
+					return true
+				}
+				if p.Ann.Sanctioned(id.Pos(), AnnWallclock, fd) {
+					return true
+				}
+				ds = append(ds, Diagnostic{
+					Pos:      p.Fset.Position(id.Pos()),
+					Analyzer: "detrand",
+					Message:  msg,
+				})
+				return true
+			})
+		}
+	}
+	return ds
+}
+
+// floatType reports whether t's core type is a floating-point or complex
+// scalar (shared by maporder and floatorder).
+func floatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

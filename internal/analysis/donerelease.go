@@ -1,0 +1,402 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Donerelease is a CFG-based must-release check for pooled-object
+// lifecycles (the dispatch.Request pool on the hot path). Providers are
+// annotated in-source: a //lass:acquires function returns an owned pooled
+// object, //lass:releases recycles its first pointer argument, and
+// //lass:transfers takes ownership without recycling (enqueue). For every
+// local bound to an acquiring call the analyzer checks, path by path, that
+// the object is released or transferred exactly once before the function
+// returns, is not released twice, and is not used after release.
+//
+// The analysis is intra-procedural and intra-package (annotations on
+// imported functions are not visible in export data). A value that
+// escapes — stored to a field or container, passed to an unannotated
+// call, captured by a closure — transfers its obligation to the escapee
+// and is no longer tracked; functions using goto, labeled branches, or
+// select are skipped rather than reasoned about unsoundly.
+type Donerelease struct{}
+
+func (Donerelease) Name() string { return "donerelease" }
+
+func (Donerelease) Doc() string {
+	return "every path releases an acquired pooled object exactly once, with no use after release"
+}
+
+// ownState is a may-analysis bitmask over the states a tracked variable
+// can be in at a program point.
+type ownState uint8
+
+const (
+	stUnborn   ownState = 1 << iota // before the acquiring call
+	stOwned                         // holds the pooled object, release pending
+	stReleased                      // recycled to the pool; any use is a bug
+	stEscaped                       // ownership handed elsewhere; unconstrained
+)
+
+func (Donerelease) Run(p *Pkg) []Diagnostic {
+	marked := markedFuncs(p)
+	if len(marked.acquires) == 0 {
+		return nil
+	}
+	var ds []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		ds = append(ds, checkFunc(p, marked, fd)...)
+	})
+	return ds
+}
+
+// markedSet indexes the package's annotated provider functions by their
+// types.Object.
+type markedSet struct {
+	acquires  map[types.Object]bool
+	releases  map[types.Object]bool
+	transfers map[types.Object]bool
+}
+
+func markedFuncs(p *Pkg) markedSet {
+	m := markedSet{
+		acquires:  make(map[types.Object]bool),
+		releases:  make(map[types.Object]bool),
+		transfers: make(map[types.Object]bool),
+	}
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		obj := p.Info.Defs[fd.Name]
+		if obj == nil {
+			return
+		}
+		if p.Ann.FuncHas(fd, AnnAcquires) {
+			m.acquires[obj] = true
+		}
+		if p.Ann.FuncHas(fd, AnnReleases) {
+			m.releases[obj] = true
+		}
+		if p.Ann.FuncHas(fd, AnnTransfers) {
+			m.transfers[obj] = true
+		}
+	})
+	return m
+}
+
+func checkFunc(p *Pkg, marked markedSet, fd *ast.FuncDecl) []Diagnostic {
+	// Collect the locals bound to acquiring calls.
+	var tracked []types.Object
+	seen := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !isMarkedCall(p, marked.acquires, as.Rhs[0]) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj != nil && !seen[obj] {
+			seen[obj] = true
+			tracked = append(tracked, obj)
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return nil
+	}
+	g := buildCFG(fd.Body)
+	if !g.ok {
+		return nil
+	}
+	var ds []Diagnostic
+	for _, obj := range tracked {
+		ds = append(ds, analyzeVar(p, marked, g, obj)...)
+	}
+	return ds
+}
+
+func isMarkedCall(p *Pkg, set map[types.Object]bool, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	return set[p.Info.Uses[id]]
+}
+
+// varFlow is the per-variable dataflow over one CFG.
+type varFlow struct {
+	p      *Pkg
+	marked markedSet
+	obj    types.Object
+	// deferredRelease is set when a `defer release(obj)` guarantees the
+	// exit-time release on every path.
+	deferredRelease bool
+	report          func(pos token.Pos, msg string)
+}
+
+func analyzeVar(p *Pkg, marked markedSet, g *funcCFG, obj types.Object) []Diagnostic {
+	var ds []Diagnostic
+	dedup := map[string]bool{}
+	vf := &varFlow{p: p, marked: marked, obj: obj}
+	vf.report = func(pos token.Pos, msg string) {
+		d := Diagnostic{Pos: p.Fset.Position(pos), Analyzer: "donerelease", Message: msg}
+		if key := d.String(); !dedup[key] {
+			dedup[key] = true
+			ds = append(ds, d)
+		}
+	}
+
+	// Pre-scan for a deferred release of obj.
+	for _, b := range g.blocks {
+		for _, s := range b.stmts {
+			if def, ok := s.(*ast.DeferStmt); ok {
+				if isMarkedCall(p, marked.releases, def.Call) && len(def.Call.Args) > 0 && vf.isVar(def.Call.Args[0]) {
+					vf.deferredRelease = true
+				}
+			}
+		}
+	}
+
+	// Fixpoint over union-merged states.
+	in := make(map[*cfgBlock]ownState, len(g.blocks))
+	out := make(map[*cfgBlock]ownState, len(g.blocks))
+	in[g.entry] = stUnborn
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		o := vf.transfer(b, in[b], nil)
+		if o == out[b] {
+			continue
+		}
+		out[b] = o
+		for _, s := range b.succs {
+			if in[s]|o != in[s] {
+				in[s] |= o
+				work = append(work, s)
+			}
+		}
+	}
+
+	// Reporting pass: rerun each reachable block's transfer with the
+	// fixpoint in-state, emitting diagnostics exactly once.
+	for _, b := range g.blocks {
+		if st, reached := in[b]; reached {
+			vf.transfer(b, st, vf.report)
+		}
+	}
+
+	// Leak check: a path reaching the exit while still owning the object
+	// never released it.
+	if !vf.deferredRelease {
+		for _, b := range g.blocks {
+			if _, reached := in[b]; !reached {
+				continue
+			}
+			exits := false
+			for _, s := range b.succs {
+				if s == g.exit {
+					exits = true
+				}
+			}
+			// Blocks with no successors ended in panic (or a skipped
+			// branch): no obligation on those paths.
+			if !exits {
+				continue
+			}
+			if out[b]&stOwned != 0 {
+				pos := obj.Pos()
+				if b.returns != nil {
+					pos = b.returns.Pos()
+				}
+				vf.report(pos, fmt.Sprintf("pooled %s may reach return without being released or transferred on this path", vf.obj.Name()))
+			}
+		}
+	}
+	return ds
+}
+
+// transfer applies one block's statements to the incoming state. When
+// report is non-nil the pass also emits diagnostics.
+func (vf *varFlow) transfer(b *cfgBlock, st ownState, report func(token.Pos, string)) ownState {
+	for _, s := range b.stmts {
+		st = vf.stmtEffect(s, st, report)
+	}
+	return st
+}
+
+func (vf *varFlow) stmtEffect(s ast.Stmt, st ownState, report func(token.Pos, string)) ownState {
+	// Acquire?
+	if as, ok := s.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && vf.identIsVar(id) {
+			if isMarkedCall(vf.p, vf.marked.acquires, as.Rhs[0]) {
+				return stOwned
+			}
+			// Reassigned from something else: stop tracking.
+			return stEscaped
+		}
+	}
+	// Deferred closures or deferred releases.
+	if def, ok := s.(*ast.DeferStmt); ok {
+		if isMarkedCall(vf.p, vf.marked.releases, def.Call) && len(def.Call.Args) > 0 && vf.isVar(def.Call.Args[0]) {
+			return st // accounted for by deferredRelease
+		}
+		if vf.mentionsVar(def.Call) {
+			return stEscaped
+		}
+		return st
+	}
+
+	// Release / transfer calls anywhere in the statement.
+	released, transferred := false, false
+	var releasePos token.Pos
+	ast.Inspect(s, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || !vf.isVar(call.Args[0]) {
+			return true
+		}
+		if isMarkedCall(vf.p, vf.marked.releases, call) {
+			released = true
+			releasePos = call.Pos()
+		} else if isMarkedCall(vf.p, vf.marked.transfers, call) {
+			transferred = true
+		}
+		return true
+	})
+	if released {
+		if report != nil && st != 0 && st&(stOwned|stEscaped|stUnborn) == 0 {
+			report(releasePos, fmt.Sprintf("%s is released again after already being released on every path here", vf.obj.Name()))
+		}
+		return stReleased
+	}
+	if transferred {
+		return stEscaped
+	}
+
+	if !vf.mentionsVar(s) {
+		return st
+	}
+
+	// Any other mention: a use-after-release when the object can only be
+	// released here, an escape when it leaves through an unannotated
+	// call, a store, a closure, or address-taking.
+	if st != 0 && st&(stOwned|stEscaped|stUnborn) == 0 {
+		if report != nil {
+			report(vf.firstMention(s), fmt.Sprintf("%s is used after being released to the pool", vf.obj.Name()))
+		}
+		return stEscaped // silence cascading reports downstream
+	}
+	if vf.escapes(s) {
+		return stEscaped
+	}
+	return st
+}
+
+// escapes reports whether the statement hands the variable to code the
+// analysis cannot see: argument to an unannotated call, stored anywhere,
+// returned, captured, or address-taken.
+func (vf *varFlow) escapes(s ast.Stmt) bool {
+	esc := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, a := range n.Args {
+				if vf.mentionsVar(a) {
+					esc = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Storing the variable anywhere (e.inflight = r, s = append(s, r),
+			// m[k] = r) hands the obligation to the store's owner. Mentions on
+			// the left (m[r.ID] = x) are reads, not stores.
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && vf.mentionsVar(n.Rhs[i]) {
+					if id, ok := n.Lhs[i].(*ast.Ident); !ok || !vf.identIsVar(id) {
+						esc = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if vf.mentionsVar(r) {
+					esc = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && vf.mentionsVar(n.X) {
+				esc = true
+			}
+		case *ast.FuncLit:
+			if vf.mentionsVar(n) {
+				esc = true
+			}
+			return false
+		case *ast.SendStmt:
+			if vf.mentionsVar(n.Value) {
+				esc = true
+			}
+		case *ast.CompositeLit:
+			if vf.mentionsVar(n) {
+				esc = true
+			}
+			return false
+		}
+		return !esc
+	})
+	return esc
+}
+
+func (vf *varFlow) isVar(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && vf.identIsVar(id)
+}
+
+func (vf *varFlow) identIsVar(id *ast.Ident) bool {
+	return vf.p.Info.Uses[id] == vf.obj || vf.p.Info.Defs[id] == vf.obj
+}
+
+func (vf *varFlow) mentionsVar(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && vf.identIsVar(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (vf *varFlow) firstMention(s ast.Stmt) token.Pos {
+	pos := s.Pos()
+	done := false
+	ast.Inspect(s, func(c ast.Node) bool {
+		if done {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && vf.identIsVar(id) {
+			pos = id.Pos()
+			done = true
+		}
+		return !done
+	})
+	return pos
+}

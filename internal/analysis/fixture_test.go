@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"fmt"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Each analyzer has a golden fixture package under testdata/<name>: seeded
+// violations carry trailing "// want `regexp`" comments, and every line
+// without one must stay quiet. The fixture is loaded with the same
+// machinery the real driver uses (export-data importer over `go list`),
+// so the test exercises the loader as well as the analyzer.
+func TestFixtures(t *testing.T) {
+	for _, a := range DefaultAnalyzers() {
+		t.Run(a.Name(), func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name())
+			p := loadFixture(t, dir)
+			checkAgainstWants(t, p, a.Run(p))
+		})
+	}
+}
+
+// loadFixture parses and type-checks one testdata directory as a package.
+func loadFixture(t *testing.T, dir string) *Pkg {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	sort.Strings(names)
+
+	// Collect the fixture's imports, then resolve them through compiled
+	// export data exactly like Load does.
+	need := make(map[string]bool)
+	impFset := token.NewFileSet()
+	for _, name := range names {
+		f, err := parser.ParseFile(impFset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path != "C" && path != "unsafe" {
+				need[path] = true
+			}
+		}
+	}
+	exports, err := exportData(dir, need)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			t.Fatalf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	p, err := checkPackage(fset, imp, "fixture/"+filepath.Base(dir), dir, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// checkAgainstWants matches diagnostics against the fixture's want
+// comments 1:1 by (file, line): every want must be hit by a matching
+// diagnostic and every diagnostic must be expected by a want.
+func checkAgainstWants(t *testing.T, p *Pkg, ds []Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	total := 0
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				k := key{name, i + 1}
+				wants[k] = append(wants[k], re)
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("fixture has no want comments; the test would pass vacuously")
+	}
+
+	for _, d := range ds {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+		if len(wants[k]) == 0 {
+			delete(wants, k)
+		}
+	}
+	missed := make([]string, 0, len(wants))
+	for k, res := range wants {
+		for _, re := range res {
+			missed = append(missed, fmt.Sprintf("%s:%d: no diagnostic matched `%s`", k.file, k.line, re))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Floatorder guards functions whose floating-point results must be
+// bit-exact across runs and schedulers — the streamed log-sum-exp in
+// queuing.MMC, the WRR weight accumulation on the dispatch hot path. A
+// function annotated //lass:bitexact may not:
+//
+//   - iterate a map (iteration order would reorder the accumulation), or
+//   - start goroutines (interleaving would reorder it).
+//
+// The check is intra-procedural: it pins the accumulation order inside the
+// annotated function; callees touching floats should carry their own
+// annotation.
+type Floatorder struct{}
+
+func (Floatorder) Name() string { return "floatorder" }
+
+func (Floatorder) Doc() string {
+	return "//lass:bitexact functions may not order float work by map iteration or goroutines"
+}
+
+func (Floatorder) Run(p *Pkg) []Diagnostic {
+	var ds []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		if !p.Ann.FuncHas(fd, AnnBitexact) {
+			return
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				t := p.Info.TypeOf(n.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					ds = append(ds, Diagnostic{
+						Pos:      p.Fset.Position(n.Pos()),
+						Analyzer: "floatorder",
+						Message:  fmt.Sprintf("bitexact function %s iterates a map: accumulation order would follow the randomized iteration order (iterate a sorted or insertion-ordered slice instead)", name),
+					})
+				}
+			case *ast.GoStmt:
+				ds = append(ds, Diagnostic{
+					Pos:      p.Fset.Position(n.Pos()),
+					Analyzer: "floatorder",
+					Message:  fmt.Sprintf("bitexact function %s starts a goroutine: interleaving would reorder its float accumulation", name),
+				})
+			}
+			return true
+		})
+	})
+	return ds
+}

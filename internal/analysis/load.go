@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+}
+
+// Load enumerates the packages matched by patterns (resolved relative to
+// dir, which must sit inside the module), parses their sources, and
+// type-checks them against compiled export data obtained from
+// `go list -deps -export -json`. With tests set, in-package _test.go files
+// are checked together with the package and external test packages
+// (package foo_test) are returned as their own *Pkg with a "_test" path
+// suffix. Everything runs on the standard toolchain and library alone.
+func Load(dir string, patterns []string, tests bool) ([]*Pkg, error) {
+	mod, err := goList(dir, append([]string{
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Imports,TestImports,XTestImports",
+		"--",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	// One export-data sweep covers the transitive closure of everything
+	// any analyzed file imports: package, in-package test, and external
+	// test imports alike.
+	need := make(map[string]bool)
+	for _, p := range mod {
+		lists := [][]string{p.Imports}
+		if tests {
+			lists = append(lists, p.TestImports, p.XTestImports)
+		}
+		for _, l := range lists {
+			for _, imp := range l {
+				if imp != "C" && imp != "unsafe" {
+					need[imp] = true
+				}
+			}
+		}
+	}
+	exports, err := exportData(dir, need)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lass-lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Pkg
+	for _, lp := range mod {
+		files := append([]string{}, lp.GoFiles...)
+		if tests {
+			files = append(files, lp.TestGoFiles...)
+		}
+		if len(files) > 0 {
+			p, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+		if tests && len(lp.XTestGoFiles) > 0 {
+			p, err := checkPackage(fset, imp, lp.ImportPath+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package's worth of files.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Pkg, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lass-lint: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lass-lint: type-checking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	return &Pkg{
+		Path:  path,
+		Dir:   dir,
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+		Ann:   buildAnnotations(fset, files),
+	}, nil
+}
+
+// exportData maps every package in the transitive closure of paths to its
+// compiled export data file.
+func exportData(dir string, paths map[string]bool) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	deps, err := goList(dir, append([]string{"-deps", "-export", "-json=ImportPath,Export", "--"}, sorted...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, p := range deps {
+		exports[p.ImportPath] = p.Export
+	}
+	return exports, nil
+}
+
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lass-lint: go list: %w\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lass-lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

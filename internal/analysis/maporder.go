@@ -1,0 +1,379 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` over a map whose body leaks the (randomized)
+// iteration order into observable state — the classic source of
+// non-byte-identical sweep output. A loop is flagged when its body:
+//
+//   - appends to a slice declared outside the loop, unless a later
+//     statement in the same block sorts that slice (the sanctioned
+//     collect-then-sort idiom),
+//   - prints through fmt or the print/println builtins,
+//   - schedules events on the simulation engine (order of same-timestamp
+//     events is FIFO, so scheduling order is outcome order),
+//   - accumulates into a float declared outside the loop (float addition
+//     does not commute under rounding), or
+//   - selects an element by iteration order: returns the key/value, or
+//     conditionally assigns them to an outer variable.
+//
+// Iterations that are order-independent by construction carry a justified
+// //lass:unordered on the range statement.
+type Maporder struct{}
+
+func (Maporder) Name() string { return "maporder" }
+
+func (Maporder) Doc() string {
+	return "flag map iterations whose order escapes into output, events, floats, or selections"
+}
+
+func (Maporder) Run(p *Pkg) []Diagnostic {
+	m := &maporderPass{p: p}
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		m.walkStmts(fd.Body.List)
+	})
+	return m.ds
+}
+
+type maporderPass struct {
+	p  *Pkg
+	ds []Diagnostic
+}
+
+// walkStmts scans a statement list for map ranges, keeping the remainder
+// of each enclosing block in hand for the sort-after-append suppression.
+func (m *maporderPass) walkStmts(list []ast.Stmt) {
+	m.checkLevel(list)
+	for _, s := range list {
+		// Recurse into every nested block (including range bodies, for
+		// ranges nested deeper). Each BlockStmt / clause body is visited
+		// exactly once, so no range is checked twice.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				if n != nil && !sameStmts(n.List, list) {
+					m.checkLevel(n.List)
+				}
+			case *ast.CaseClause:
+				m.checkLevel(n.Body)
+			case *ast.CommClause:
+				m.checkLevel(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkLevel checks the map ranges sitting directly in one statement
+// list, with the rest of the list in hand for the sort suppression.
+func (m *maporderPass) checkLevel(list []ast.Stmt) {
+	for i, s := range list {
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			s = ls.Stmt
+		}
+		if rs, ok := s.(*ast.RangeStmt); ok && m.isMapRange(rs) {
+			if !m.p.Ann.OnLine(rs.Pos(), AnnUnordered) {
+				m.checkMapRange(rs, list[i+1:])
+			}
+		}
+	}
+}
+
+func (m *maporderPass) isMapRange(rs *ast.RangeStmt) bool {
+	t := m.p.Info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func (m *maporderPass) checkMapRange(rs *ast.RangeStmt, rest []ast.Stmt) {
+	keyObj := m.rangeVarObj(rs.Key)
+	valObj := m.rangeVarObj(rs.Value)
+	m.checkBody(rs, rs.Body.List, rest, keyObj, valObj, false)
+}
+
+func (m *maporderPass) rangeVarObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := m.p.Info.Defs[id]; obj != nil {
+		return obj
+	}
+	return m.p.Info.Uses[id]
+}
+
+// checkBody walks the loop body, tracking whether execution is under a
+// condition (where assignments become order-dependent selections).
+func (m *maporderPass) checkBody(rs *ast.RangeStmt, list []ast.Stmt, rest []ast.Stmt, keyObj, valObj types.Object, cond bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			m.checkAssign(rs, s, rest, keyObj, valObj, cond)
+		case *ast.ExprStmt:
+			m.checkCalls(rs, s.X)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if m.mentions(r, keyObj, valObj) {
+					m.report(s.Pos(), "returns an element chosen by map iteration order (iterate sorted keys, or //lass:unordered)")
+					break
+				}
+			}
+			for _, r := range s.Results {
+				m.checkCalls(rs, r)
+			}
+		case *ast.IfStmt:
+			m.checkCalls(rs, s.Cond)
+			m.checkBody(rs, s.Body.List, rest, keyObj, valObj, true)
+			switch e := s.Else.(type) {
+			case *ast.BlockStmt:
+				m.checkBody(rs, e.List, rest, keyObj, valObj, true)
+			case *ast.IfStmt:
+				m.checkBody(rs, []ast.Stmt{e}, rest, keyObj, valObj, cond)
+			}
+		case *ast.BlockStmt:
+			m.checkBody(rs, s.List, rest, keyObj, valObj, cond)
+		case *ast.ForStmt:
+			m.checkBody(rs, s.Body.List, rest, keyObj, valObj, cond)
+		case *ast.RangeStmt:
+			m.checkBody(rs, s.Body.List, rest, keyObj, valObj, cond)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					m.checkBody(rs, cc.Body, rest, keyObj, valObj, true)
+				}
+			}
+		case *ast.DeferStmt:
+			m.checkCalls(rs, s.Call)
+		case *ast.GoStmt:
+			m.checkCalls(rs, s.Call)
+		case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.LabeledStmt,
+			*ast.SendStmt, *ast.SelectStmt, *ast.TypeSwitchStmt, *ast.EmptyStmt:
+			// IncDec on ints is order-independent; the rest carry no
+			// heuristic of their own (nested calls in sends/selects are
+			// rare enough in this codebase to ignore).
+		}
+	}
+}
+
+func (m *maporderPass) checkAssign(rs *ast.RangeStmt, s *ast.AssignStmt, rest []ast.Stmt, keyObj, valObj types.Object, cond bool) {
+	for _, r := range s.Rhs {
+		m.checkCalls(rs, r)
+	}
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if id, ok := s.Lhs[0].(*ast.Ident); ok {
+			obj := m.p.Info.Uses[id]
+			if obj != nil && m.declaredOutside(obj, rs) && floatType(obj.Type()) {
+				m.report(s.Pos(), fmt.Sprintf("accumulates float %s in map iteration order; float addition does not commute under rounding (iterate sorted keys, or //lass:unordered)", id.Name))
+				return
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		// Appends to outer slices (suppressed when the block sorts the
+		// slice afterwards), x = x + f float accumulation, and
+		// conditional selection of the key/value into outer state.
+		for i, lhs := range s.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := m.p.Info.Uses[id]
+			if obj == nil || !m.declaredOutside(obj, rs) {
+				continue
+			}
+			if i < len(s.Rhs) {
+				if call, ok := s.Rhs[i].(*ast.CallExpr); ok && m.isAppend(call) {
+					if !sortFollows(m.p, rest, obj) {
+						m.report(s.Pos(), fmt.Sprintf("appends to %s in map iteration order and never sorts it (sort after the loop, or //lass:unordered)", id.Name))
+					}
+					continue
+				}
+				if floatType(obj.Type()) && mentionsObj(m.p, s.Rhs[i], obj) {
+					m.report(s.Pos(), fmt.Sprintf("accumulates float %s in map iteration order; float addition does not commute under rounding (iterate sorted keys, or //lass:unordered)", id.Name))
+					continue
+				}
+			}
+			if cond && i < len(s.Rhs) && m.mentions(s.Rhs[i], keyObj, valObj) {
+				m.report(s.Pos(), fmt.Sprintf("conditionally assigns a map element to %s: the winner depends on iteration order (iterate sorted keys with a total tie-break, or //lass:unordered)", id.Name))
+			}
+		}
+	}
+}
+
+// checkCalls flags output and engine-scheduling calls inside an
+// expression.
+func (m *maporderPass) checkCalls(rs *ast.RangeStmt, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fn := m.calleeFunc(call); {
+		case fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && printFuncs[fn.Name()]:
+			m.report(call.Pos(), fmt.Sprintf("emits output (fmt.%s) in map iteration order (iterate sorted keys, or //lass:unordered)", fn.Name()))
+		case fn != nil && m.isEngineSchedule(fn):
+			m.report(call.Pos(), fmt.Sprintf("schedules engine events (%s) in map iteration order; same-timestamp events fire in scheduling order (iterate sorted keys, or //lass:unordered)", fn.Name()))
+		case fn == nil:
+			if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "print" || id.Name == "println") {
+				if _, isBuiltin := m.p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					m.report(call.Pos(), fmt.Sprintf("emits output (%s) in map iteration order (iterate sorted keys, or //lass:unordered)", id.Name))
+				}
+			}
+		}
+		return true
+	})
+}
+
+var printFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func (m *maporderPass) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := m.p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := m.p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+var engineScheduleFuncs = map[string]bool{
+	"Schedule": true, "After": true, "Every": true, "EveryFrom": true,
+}
+
+func (m *maporderPass) isEngineSchedule(fn *types.Func) bool {
+	if !engineScheduleFuncs[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "lass/internal/sim" && named.Obj().Name() == "Engine"
+}
+
+func (m *maporderPass) isAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := m.p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "append"
+}
+
+func (m *maporderPass) declaredOutside(obj types.Object, rs *ast.RangeStmt) bool {
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+func (m *maporderPass) mentions(e ast.Expr, objs ...types.Object) bool {
+	for _, o := range objs {
+		if o != nil && mentionsObj(m.p, e, o) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsObj(p *Pkg, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFollows reports whether the statements after the loop sort the
+// appended slice (or a slice derived from it, e.g. tail := dst[start:]).
+func sortFollows(p *Pkg, rest []ast.Stmt, obj types.Object) bool {
+	derived := map[types.Object]bool{obj: true}
+	mentionsDerived := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && derived[p.Info.Uses[id]] {
+				hit = true
+			}
+			return !hit
+		})
+		return hit
+	}
+	for _, s := range rest {
+		sorted := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if (pkg != "sort" && pkg != "slices") || len(call.Args) == 0 {
+				return true
+			}
+			if mentionsDerived(call.Args[0]) {
+				sorted = true
+			}
+			return true
+		})
+		if sorted {
+			return true
+		}
+		if as, ok := s.(*ast.AssignStmt); ok {
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) || !mentionsDerived(as.Rhs[i]) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					if o := p.Info.Defs[id]; o != nil {
+						derived[o] = true
+					} else if o := p.Info.Uses[id]; o != nil {
+						derived[o] = true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (m *maporderPass) report(pos token.Pos, msg string) {
+	m.ds = append(m.ds, Diagnostic{
+		Pos:      m.p.Fset.Position(pos),
+		Analyzer: "maporder",
+		Message:  "range over map " + msg,
+	})
+}
+
+func sameStmts(a, b []ast.Stmt) bool {
+	return len(a) == len(b) && (len(a) == 0 || a[0] == b[0])
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilness is the lightweight nilness-class check the stock `go vet` suite
+// lacks: it flags a pointer that is checked against nil and then
+// dereferenced immediately afterwards as if the check had concluded the
+// opposite. The shape it catches:
+//
+//	if p == nil {
+//	    log.Printf("no p") // no return, no assignment to p
+//	}
+//	use(p.Field) // p may still be nil here
+//
+// To stay near-zero-noise the check is deliberately narrow: the nil-check
+// body must neither terminate the path (return/break/continue/panic/
+// os.Exit/t.Fatal*) nor assign to the variable, and only the statement
+// directly following the if is inspected for a dereference.
+type Nilness struct{}
+
+func (Nilness) Name() string { return "nilness" }
+
+func (Nilness) Doc() string {
+	return "flag dereference of a variable immediately after an ineffective nil check"
+}
+
+func (Nilness) Run(p *Pkg) []Diagnostic {
+	n := &nilnessPass{p: p}
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(node ast.Node) bool {
+			if b, ok := node.(*ast.BlockStmt); ok {
+				n.checkBlock(b.List)
+			}
+			if cc, ok := node.(*ast.CaseClause); ok {
+				n.checkBlock(cc.Body)
+			}
+			return true
+		})
+	})
+	return n.ds
+}
+
+type nilnessPass struct {
+	p  *Pkg
+	ds []Diagnostic
+}
+
+func (n *nilnessPass) checkBlock(list []ast.Stmt) {
+	for i, s := range list {
+		ifs, ok := s.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || ifs.Else != nil || i+1 >= len(list) {
+			continue
+		}
+		obj := n.nilCheckedVar(ifs.Cond)
+		if obj == nil {
+			continue
+		}
+		if n.bodyGuards(ifs.Body, obj) {
+			continue
+		}
+		if pos, expr := n.derefOf(list[i+1], obj); pos.IsValid() {
+			n.ds = append(n.ds, Diagnostic{
+				Pos:      n.p.Fset.Position(pos),
+				Analyzer: "nilness",
+				Message:  fmt.Sprintf("%s is dereferenced immediately after a nil check that neither returns nor assigns it (%s may be nil here)", expr, obj.Name()),
+			})
+		}
+	}
+}
+
+// nilCheckedVar matches `x == nil` over a nil-able local x.
+func (n *nilnessPass) nilCheckedVar(cond ast.Expr) types.Object {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	var id *ast.Ident
+	if x, ok := be.X.(*ast.Ident); ok && isNilIdent(n.p, be.Y) {
+		id = x
+	} else if y, ok := be.Y.(*ast.Ident); ok && isNilIdent(n.p, be.X) {
+		id = y
+	}
+	if id == nil {
+		return nil
+	}
+	obj, ok := n.p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Interface, *types.Signature, *types.Chan:
+		return obj
+	}
+	return nil
+}
+
+func isNilIdent(p *Pkg, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// bodyGuards reports whether the nil-check body ends the path or changes
+// the variable, making the later dereference safe.
+func (n *nilnessPass) bodyGuards(body *ast.BlockStmt, obj types.Object) bool {
+	guarded := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			guarded = true
+		case *ast.CallExpr:
+			if isPanicCall(node) || isTerminalCall(n.p, node) {
+				guarded = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+					guarded = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if id, ok := node.X.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+					guarded = true // &x: may be assigned through the pointer
+				}
+			}
+		}
+		return !guarded
+	})
+	return guarded
+}
+
+// isTerminalCall recognizes the common does-not-return calls: os.Exit,
+// runtime.Goexit, log.Fatal*, log.Panic*, and testing's t.Fatal*/t.Skip*.
+func isTerminalCall(p *Pkg, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "os":
+		return name == "Exit"
+	case "runtime":
+		return name == "Goexit"
+	case "log":
+		return name == "Fatal" || name == "Fatalf" || name == "Fatalln" ||
+			name == "Panic" || name == "Panicf" || name == "Panicln"
+	case "testing":
+		return name == "Fatal" || name == "Fatalf" || name == "Skip" ||
+			name == "Skipf" || name == "SkipNow" || name == "FailNow"
+	}
+	return false
+}
+
+// derefOf finds a dereference of obj in stmt: selector on a pointer,
+// unary *, index of a slice, or call of a func value.
+func (n *nilnessPass) derefOf(stmt ast.Stmt, obj types.Object) (token.Pos, string) {
+	var pos token.Pos
+	var expr string
+	ast.Inspect(stmt, func(node ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := node.X.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					// Method values on non-pointer receivers would not
+					// dereference; keep it simple and only report field or
+					// method access through a pointer.
+					pos, expr = node.Pos(), id.Name+"."+node.Sel.Name
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := node.X.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+				pos, expr = node.Pos(), "*"+id.Name
+			}
+		case *ast.IndexExpr:
+			if id, ok := node.X.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+					pos, expr = node.Pos(), id.Name+"[...]"
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && n.p.Info.Uses[id] == obj {
+				pos, expr = node.Pos(), id.Name+"(...)"
+			}
+		}
+		return !pos.IsValid()
+	})
+	return pos, expr
+}

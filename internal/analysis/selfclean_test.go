@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestModuleIsClean is the dogfood gate: the full analyzer suite must run
+// clean over this module, tests included — the same invocation CI runs as
+// `go run ./cmd/lass-lint ./...`. A failure here means either a real
+// determinism regression or a new sanctioned site missing its annotation.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+	ds, err := Run(root, []string{"./..."}, true, DefaultAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		t.Errorf("%s", d.String())
+	}
+}

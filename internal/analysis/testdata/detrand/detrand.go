@@ -1,0 +1,47 @@
+// Package detrand seeds wall-clock and ambient-randomness violations for
+// the detrand analyzer's fixture test. Every `want` comment is a regexp
+// the analyzer must match on that line; lines without one must stay quiet.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() time.Duration {
+	start := time.Now()          // want `time\.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+	_ = rand.Intn(10)            // want `math/rand\.Intn is ambient randomness`
+	return time.Since(start)     // want `time\.Since reads the wall clock`
+}
+
+func timerViolations() {
+	t := time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+	<-t.C
+	<-time.After(time.Second) // want `time\.After reads the wall clock`
+}
+
+// sanctionedFunc carries the function-level annotation: nothing inside is
+// flagged.
+//
+//lass:wallclock
+func sanctionedFunc() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+
+func sanctionedLines() int64 {
+	//lass:wallclock bench timing is allowed to read the machine clock
+	a := time.Now().UnixNano()
+	b := time.Now().UnixNano() //lass:wallclock trailing form
+	return a + b
+}
+
+// deterministicUses exercises package time's pure API: conversions and
+// constructors are deterministic in their inputs and must not be flagged.
+func deterministicUses() time.Duration {
+	d := 3 * time.Second
+	at := time.Date(2021, time.June, 21, 0, 0, 0, 0, time.UTC)
+	return d + time.Duration(at.Unix())
+}

@@ -1,0 +1,79 @@
+// Package donerelease seeds pooled-object lifecycle bugs for the
+// donerelease analyzer's fixture test. The pool is self-contained: the
+// annotated providers below play the role of dispatch's request pool
+// (//lass:acquires alloc, //lass:releases release, //lass:transfers
+// enqueue).
+package donerelease
+
+type request struct {
+	id   int
+	busy bool
+}
+
+var pool []*request
+
+// alloc hands out an owned request.
+//
+//lass:acquires
+func alloc() *request {
+	if n := len(pool); n > 0 {
+		r := pool[n-1]
+		pool = pool[:n-1]
+		return r
+	}
+	return &request{}
+}
+
+// release recycles a request to the pool.
+//
+//lass:releases
+func release(r *request) {
+	r.busy = false
+	pool = append(pool, r)
+}
+
+// enqueue takes ownership without recycling.
+//
+//lass:transfers
+func enqueue(r *request) {}
+
+func balanced(cond bool) {
+	r := alloc()
+	r.busy = true
+	if cond {
+		release(r)
+		return
+	}
+	enqueue(r)
+}
+
+func deferred() int {
+	r := alloc()
+	defer release(r)
+	return r.id
+}
+
+func leakOnEarlyReturn(cond bool) {
+	r := alloc()
+	if cond {
+		return // want `pooled r may reach return without being released or transferred`
+	}
+	release(r)
+}
+
+func doubleRelease() {
+	r := alloc()
+	release(r)
+	release(r) // want `r is released again after already being released`
+}
+
+func useAfterRelease() int {
+	r := alloc()
+	release(r)
+	return r.id // want `r is used after being released to the pool`
+}
+
+func escapeIsNotALeak(sink func(*request)) {
+	r := alloc()
+	sink(r) // unannotated callee takes the obligation with the value
+}

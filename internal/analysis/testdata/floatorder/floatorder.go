@@ -1,0 +1,52 @@
+// Package floatorder seeds reordered float accumulation for the
+// floatorder analyzer's fixture test: a //lass:bitexact function may not
+// iterate maps or start goroutines.
+package floatorder
+
+// badMap orders its accumulation by map iteration.
+//
+//lass:bitexact
+func badMap(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `bitexact function badMap iterates a map`
+		total += v
+	}
+	return total
+}
+
+// badGo lets the scheduler interleave its accumulation.
+//
+//lass:bitexact
+func badGo(xs []float64) float64 {
+	var total float64
+	done := make(chan struct{})
+	go func() { // want `bitexact function badGo starts a goroutine`
+		for _, x := range xs {
+			total += x
+		}
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// good accumulates in slice order: deterministic, no findings.
+//
+//lass:bitexact
+func good(xs []float64) float64 {
+	var total float64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// unannotated is not bitexact; its map iteration is maporder's concern,
+// not floatorder's (and the sum feeds nothing here).
+func unannotated(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

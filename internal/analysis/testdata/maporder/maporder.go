@@ -1,0 +1,77 @@
+// Package maporder seeds map-iteration-order leaks for the maporder
+// analyzer's fixture test: emitted output, unsorted appends, float
+// accumulation, order-dependent winners, and engine scheduling inside
+// `range m`, plus the sanctioned shapes that must stay quiet.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lass/internal/sim"
+)
+
+func emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `emits output \(fmt\.Println\) in map iteration order`
+	}
+}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `appends to out in map iteration order and never sorts it`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func floatSum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `accumulates float total in map iteration order`
+	}
+	return total
+}
+
+func intSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition commutes: not flagged
+	}
+	return total
+}
+
+func argmin(m map[string]int) string {
+	best := ""
+	for k := range m {
+		if best == "" || m[k] < m[best] {
+			best = k // want `conditionally assigns a map element to best`
+		}
+	}
+	return best
+}
+
+func schedule(e *sim.Engine, m map[string]time.Duration) {
+	for _, d := range m {
+		e.After(d, func() {}) // want `schedules engine events \(After\) in map iteration order`
+	}
+}
+
+func sanctioned(m map[string]float64) float64 {
+	var total float64
+	//lass:unordered fixture: the sum is discarded
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,57 @@
+// Package nilness seeds ineffective nil checks for the nilness analyzer's
+// fixture test: a nil check whose body neither ends the path nor assigns
+// the variable, immediately followed by a dereference.
+package nilness
+
+import (
+	"fmt"
+	"log"
+)
+
+type thing struct{ n int }
+
+func ineffectiveCheck(t *thing) {
+	if t == nil {
+		fmt.Println("t is nil")
+	}
+	fmt.Println(t.n) // want `t\.n is dereferenced immediately after a nil check`
+}
+
+func ineffectiveCheckSlice(xs []int) {
+	if xs == nil {
+		fmt.Println("empty")
+	}
+	_ = xs[0] // want `xs\[\.\.\.\] is dereferenced immediately after a nil check`
+}
+
+func guardedByReturn(t *thing) {
+	if t == nil {
+		return
+	}
+	fmt.Println(t.n)
+}
+
+func guardedByAssign(t *thing) {
+	if t == nil {
+		t = &thing{}
+	}
+	fmt.Println(t.n)
+}
+
+func guardedByFatal(t *thing) {
+	if t == nil {
+		log.Fatal("no thing")
+	}
+	fmt.Println(t.n)
+}
+
+func checkWithElse(t *thing) int {
+	// An else branch means the dereference is not on the fallthrough
+	// path shape this analyzer models; stay quiet.
+	if t == nil {
+		return 0
+	} else {
+		fmt.Println(t.n)
+	}
+	return t.n
+}

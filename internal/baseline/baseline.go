@@ -22,6 +22,7 @@ package baseline
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"lass/internal/functions"
@@ -74,14 +75,18 @@ type node struct {
 	memUsed    int64
 	cpuCap     int64
 	responsive bool
-	containers map[*container]struct{}
+	// containers is kept in creation order. Iterating a set-typed map
+	// here made findIdle hand requests to an arbitrary idle container,
+	// which skewed lastUsed and therefore keep-alive reaping run to run;
+	// a slice makes the whole baseline a pure function of its seed.
+	containers []*container
 }
 
 // busyCPUDemand sums the standard-size CPU wanted by busy containers: the
 // quantity OpenWhisk never looks at, and the one that kills the invoker.
 func (n *node) busyCPUDemand() int64 {
 	var d int64
-	for c := range n.containers {
+	for _, c := range n.containers {
 		if c.state == busy {
 			d += c.fn.spec.CPUMillis
 		}
@@ -134,7 +139,6 @@ func New(cfg Config) (*Platform, error) {
 			memCap:     cfg.MemPerNode,
 			cpuCap:     cfg.CPUPerNode,
 			responsive: true,
-			containers: make(map[*container]struct{}),
 		})
 	}
 	return p, nil
@@ -172,7 +176,7 @@ func (p *Platform) checkHealth(n *node) {
 		return
 	}
 	n.responsive = false
-	for c := range n.containers {
+	for _, c := range n.containers {
 		if c.state == busy {
 			c.done.Cancel() // the request hangs forever
 			c.fn.hung++
@@ -187,7 +191,7 @@ func (p *Platform) findIdle(f *bfunc) *container {
 		if !n.responsive {
 			continue
 		}
-		for c := range n.containers {
+		for _, c := range n.containers {
 			if c.fn == f && c.state == idle {
 				return c
 			}
@@ -210,7 +214,7 @@ func (p *Platform) createContainer(f *bfunc) *container {
 		}
 		c := &container{fn: f, node: n, state: idle, lastUsed: p.Engine.Now()}
 		n.memUsed += f.spec.MemoryMiB
-		n.containers[c] = struct{}{}
+		n.containers = append(n.containers, c)
 		return c
 	}
 	return nil
@@ -285,12 +289,18 @@ func (p *Platform) reapIdle() {
 	}
 	now := p.Engine.Now()
 	for _, n := range p.nodes {
-		for c := range n.containers {
+		live := n.containers[:0]
+		for _, c := range n.containers {
 			if c.state == idle && now-c.lastUsed >= p.cfg.IdleTTL {
 				n.memUsed -= c.fn.spec.MemoryMiB
-				delete(n.containers, c)
+				continue
 			}
+			live = append(live, c)
 		}
+		for i := len(live); i < len(n.containers); i++ {
+			n.containers[i] = nil
+		}
+		n.containers = live
 	}
 }
 
@@ -308,7 +318,12 @@ type Result struct {
 
 // Run drives per-function workload schedules for the given duration.
 func (p *Platform) Run(schedules map[string]*workload.Schedule, duration time.Duration) (*Result, error) {
+	names := make([]string, 0, len(schedules))
 	for name := range schedules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if _, ok := p.funcs[name]; !ok {
 			return nil, fmt.Errorf("baseline: schedule for unregistered function %q", name)
 		}

@@ -152,3 +152,77 @@ func TestIdleReap(t *testing.T) {
 		}
 	}
 }
+
+// TestRunDeterministic is the regression test for the map-iteration
+// nondeterminism lass-lint flagged in this package: node.containers was a
+// set-typed map, so findIdle handed requests to an arbitrary idle container
+// and the lastUsed-driven keep-alive reap diverged run to run. With the
+// creation-ordered slice, two runs from the same seed must agree
+// bit-for-bit on every committed output.
+func TestRunDeterministic(t *testing.T) {
+	run := func() (*Result, []string) {
+		cfg := Default()
+		cfg.Seed = 42
+		cfg.IdleTTL = 30 * time.Second // exercise the reap path
+		p, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := []string{"mobilenet-v2", "shufflenet-v2", "geofence"}
+		schedules := make(map[string]*workload.Schedule)
+		for _, name := range names {
+			spec, err := functions.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Register(spec, 500*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			// Bursty enough that containers go idle and get reaped.
+			wl, err := workload.NewSteps([]workload.Step{
+				{Start: 0, Rate: 8},
+				{Start: 2 * time.Minute, Rate: 0.5},
+				{Start: 4 * time.Minute, Rate: 8},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			schedules[name] = wl
+		}
+		res, err := p.Run(schedules, 6*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, names
+	}
+
+	a, names := run()
+	b, _ := run()
+	for _, name := range names {
+		if a.Completed[name] != b.Completed[name] {
+			t.Errorf("%s: completed %d vs %d across identical seeds", name, a.Completed[name], b.Completed[name])
+		}
+		if a.Dropped[name] != b.Dropped[name] {
+			t.Errorf("%s: dropped %d vs %d", name, a.Dropped[name], b.Dropped[name])
+		}
+		if a.Hung[name] != b.Hung[name] {
+			t.Errorf("%s: hung %d vs %d", name, a.Hung[name], b.Hung[name])
+		}
+		wa, wb := a.Waits[name], b.Waits[name]
+		if wa.Count() != wb.Count() || wa.Sum() != wb.Sum() {
+			t.Errorf("%s: wait digest (%d, %v) vs (%d, %v)", name, wa.Count(), wa.Sum(), wb.Count(), wb.Sum())
+		}
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			if wa.Quantile(q) != wb.Quantile(q) {
+				t.Errorf("%s: p%v %v vs %v", name, q*100, wa.Quantile(q), wb.Quantile(q))
+			}
+		}
+		if a.SLO[name].Violations() != b.SLO[name].Violations() {
+			t.Errorf("%s: SLO violations %d vs %d", name, a.SLO[name].Violations(), b.SLO[name].Violations())
+		}
+	}
+	if a.FirstDeathAt != b.FirstDeathAt || a.Cascaded != b.Cascaded {
+		t.Errorf("health trajectory diverged: (%v, %v) vs (%v, %v)",
+			a.FirstDeathAt, a.Cascaded, b.FirstDeathAt, b.Cascaded)
+	}
+}

@@ -15,6 +15,7 @@ package dispatch
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"lass/internal/cluster"
@@ -111,7 +112,13 @@ type Queue struct {
 	head    int
 	pool    []*Request // recycled Request objects
 	entries map[cluster.ContainerID]*wrrEntry
-	nextID  uint64
+	// order holds the attached entries sorted by container ID. Every
+	// per-request walk (WRR selection, capacity sums) iterates it instead
+	// of the entries map: the float accumulations below must not follow
+	// the map's randomized iteration order, or replayed runs stop being
+	// bit-identical.
+	order  []*wrrEntry
+	nextID uint64
 
 	// Waits and Responses collect per-request timing; SLO tracks the
 	// waiting-time deadline the evaluation provisions against.
@@ -173,6 +180,10 @@ func (q *Queue) QueueLength() int { return len(q.fifo) - q.head }
 
 // alloc takes a request from the pool (or allocates one) and initializes it
 // as a fresh arrival.
+//
+// transfer it on every path (checked by the donerelease analyzer).
+//
+//lass:acquires the caller owns the returned request and must release or
 func (q *Queue) alloc() *Request {
 	var r *Request
 	if n := len(q.pool); n > 0 {
@@ -192,6 +203,8 @@ func (q *Queue) alloc() *Request {
 
 // release returns a finished request to the pool. Releasing the same
 // request twice would alias two in-flight invocations, so it panics.
+//
+//lass:releases the request is recycled; no use may follow.
 func (q *Queue) release(r *Request) {
 	if r.pooled {
 		panic("dispatch: request released twice")
@@ -204,7 +217,7 @@ func (q *Queue) release(r *Request) {
 // InFlight returns the number of requests currently in service.
 func (q *Queue) InFlight() int {
 	n := 0
-	for _, e := range q.entries {
+	for _, e := range q.order {
 		if e.busy {
 			n++
 		}
@@ -244,9 +257,13 @@ func (q *Queue) Containers() int { return len(q.entries) }
 // attached containers at their current (possibly deflated) CPU
 // allocations. The federation placement policy uses it to predict how
 // fast a site can drain its backlog.
+//
+// it always accumulates in container-ID order.
+//
+//lass:bitexact the sum feeds placement predictions compared across sites;
 func (q *Queue) ServiceCapacity() float64 {
 	var total float64
-	for _, e := range q.entries {
+	for _, e := range q.order {
 		total += q.spec.RateAt(e.c.CPUFraction())
 	}
 	return total
@@ -255,7 +272,7 @@ func (q *Queue) ServiceCapacity() float64 {
 // IdleContainers returns the number of attached, non-busy containers.
 func (q *Queue) IdleContainers() int {
 	n := 0
-	for _, e := range q.entries {
+	for _, e := range q.order {
 		if !e.busy {
 			n++
 		}
@@ -278,6 +295,12 @@ func (q *Queue) AddContainer(c *cluster.Container) error {
 	e.completeFn = e.complete
 	e.timeoutFn = e.timeout
 	q.entries[c.ID] = e
+	// Keep order sorted by container ID. IDs are issued monotonically, so
+	// the common case appends; reattachment after churn inserts.
+	at := sort.Search(len(q.order), func(i int) bool { return q.order[i].c.ID >= c.ID })
+	q.order = append(q.order, nil)
+	copy(q.order[at+1:], q.order[at:])
+	q.order[at] = e
 	q.pump()
 	return nil
 }
@@ -292,6 +315,8 @@ func (q *Queue) RemoveContainer(c *cluster.Container) error {
 		return fmt.Errorf("dispatch: container %d not attached", c.ID)
 	}
 	delete(q.entries, c.ID)
+	at := sort.Search(len(q.order), func(i int) bool { return q.order[i].c.ID >= c.ID })
+	q.order = append(q.order[:at], q.order[at+1:]...)
 	if e.busy && e.inflight != nil {
 		e.done.Cancel()
 		r := e.inflight
@@ -305,6 +330,8 @@ func (q *Queue) RemoveContainer(c *cluster.Container) error {
 
 // requeueFront puts an aborted in-flight request back at the head of the
 // FIFO, reusing the slack before head when the deque has one.
+//
+//lass:transfers the FIFO re-owns the aborted request.
 func (q *Queue) requeueFront(r *Request) {
 	if q.head > 0 {
 		q.head--
@@ -347,6 +374,9 @@ func (q *Queue) ArriveOffloaded() *Request {
 	return r
 }
 
+// path releases it.
+//
+//lass:transfers the FIFO owns the request from here; the dispatch/complete
 func (q *Queue) enqueue(r *Request) {
 	q.fifo = append(q.fifo, r)
 	q.pump()
@@ -354,10 +384,15 @@ func (q *Queue) enqueue(r *Request) {
 
 // selectIdle picks the idle container by smooth weighted round-robin with
 // weights equal to current CPU allocation. Returns nil when all busy.
+//
+// q.order pins the accumulation to container-ID order so selection is a
+// pure function of the queue state.
+//
+//lass:bitexact the running weights and their total are floats; walking
 func (q *Queue) selectIdle() *wrrEntry {
 	var total float64
 	var best *wrrEntry
-	for _, e := range q.entries {
+	for _, e := range q.order {
 		if e.busy {
 			continue
 		}

@@ -50,6 +50,8 @@ var EngineNames = []string{"ref-heap", "heap", "calendar"}
 
 // measure runs fn and returns its wall time and exact heap allocation
 // deltas (runtime counters, not sampled).
+//
+//lass:wallclock the harness measures real elapsed time; results go to the bench table, not the simulation.
 func measure(fn func()) (wall time.Duration, allocs, bytes uint64) {
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)

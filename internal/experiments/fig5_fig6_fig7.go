@@ -19,6 +19,8 @@ import (
 // doubling, as the pool grows to 1000 containers. The naive float64
 // implementation (the paper's precision-limited Scala analogue) is run
 // alongside; it fails well before 1000 containers.
+//
+//lass:wallclock Fig 5 reports real solver wall times alongside simulated results.
 func Fig5(opt Options) (*Table, error) {
 	t := &Table{
 		ID:     "fig5",

@@ -62,6 +62,8 @@ func (m MMC) Rho() float64 { return m.Lambda / (float64(m.C) * m.Mu) }
 func (m MMC) Stable() bool { return m.Rho() < 1 }
 
 // logSumExp returns log(Σ exp(x_i)) computed stably.
+//
+//lass:bitexact
 func logSumExp(xs []float64) float64 {
 	max := math.Inf(-1)
 	for _, x := range xs {
@@ -90,6 +92,8 @@ func logFactorial(n int) float64 {
 //	P0 = [ r^c / (c!(1-ρ)) + Σ_{n=0}^{c-1} r^n/n! ]^{-1}
 //
 // computed entirely in log space.
+//
+//lass:bitexact
 func (m MMC) logP0() (float64, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
@@ -217,6 +221,8 @@ func (m MMC) waitBoundStates(t float64) int {
 // arriving request sees no more than L = ⌊tcμ + c - 1⌋ requests already in
 // the system (Eqs 3-4). This is the quantity Algorithm 1 drives to the SLO
 // percentile.
+//
+//lass:bitexact
 func (m MMC) ProbWaitLE(t float64) (float64, error) {
 	lp0, err := m.logP0()
 	if err != nil {

@@ -99,6 +99,8 @@ var ErrStopped = errors.New("realtime: platform stopped")
 
 // New builds and starts the runtime; the controller begins stepping
 // immediately.
+//
+//lass:wallclock the real-time platform serves live traffic on the machine clock.
 func New(cfg Config) (*Platform, error) {
 	cl, err := cluster.New(cfg.Cluster)
 	if err != nil {
@@ -197,6 +199,8 @@ func (p *Platform) Provision(function string, n int) error {
 }
 
 // Invoke runs one invocation, blocking until it completes or ctx is done.
+//
+//lass:wallclock live-request arrival timestamps come from the machine clock.
 func (p *Platform) Invoke(ctx context.Context, function string, payload []byte) ([]byte, error) {
 	p.mu.Lock()
 	if p.stopped {
@@ -245,6 +249,9 @@ func (p *Platform) pumpLocked(f *fnState) {
 func (p *Platform) selectIdleLocked(f *fnState) *worker {
 	var total float64
 	var best *worker
+	// Live traffic: worker selection races arrivals anyway, and the
+	// smooth-WRR winner is order-independent given the ID tie-break below.
+	//lass:unordered
 	for _, w := range f.workers {
 		if w.busy || !w.c.Servable() {
 			continue
@@ -263,6 +270,7 @@ func (p *Platform) selectIdleLocked(f *fnState) *worker {
 	return best
 }
 
+//lass:wallclock live service timing and learner observations use the machine clock.
 func (p *Platform) startLocked(f *fnState, w *worker, inv *invocation) {
 	now := time.Since(p.origin)
 	wait := now - inv.arrived

@@ -33,6 +33,7 @@ func echoSpec() functions.Spec {
 	return s
 }
 
+//lass:wallclock exercises the live platform in real time.
 func TestInvokeEndToEnd(t *testing.T) {
 	p, err := New(fastConfig())
 	if err != nil {
@@ -95,6 +96,7 @@ func TestRegisterValidation(t *testing.T) {
 	}
 }
 
+//lass:wallclock exercises the live platform in real time.
 func TestConcurrentInvocationsAutoScale(t *testing.T) {
 	p, err := New(fastConfig())
 	if err != nil {
@@ -147,6 +149,7 @@ func TestConcurrentInvocationsAutoScale(t *testing.T) {
 	}
 }
 
+//lass:wallclock exercises the live platform in real time.
 func TestCPUFractionInContext(t *testing.T) {
 	p, err := New(fastConfig())
 	if err != nil {
@@ -176,6 +179,7 @@ func TestCPUFractionInContext(t *testing.T) {
 	}
 }
 
+//lass:wallclock exercises the live platform in real time.
 func TestStopFailsPendingInvocations(t *testing.T) {
 	p, err := New(fastConfig())
 	if err != nil {

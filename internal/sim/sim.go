@@ -456,7 +456,11 @@ type RealClock struct {
 }
 
 // NewRealClock returns a RealClock whose zero instant is now.
+//
+//lass:wallclock RealClock is the sanctioned bridge from wall time to the Clock interface.
 func NewRealClock() *RealClock { return &RealClock{origin: time.Now()} }
 
 // Now returns the wall-clock time elapsed since the clock was created.
+//
+//lass:wallclock
 func (c *RealClock) Now() time.Duration { return time.Since(c.origin) }

@@ -241,10 +241,17 @@ func (s *Schedule) ExpectedCount(from, to time.Duration) float64 {
 type PhaseSchedule map[string][]Step
 
 // Schedules materializes a PhaseSchedule into per-function Schedules.
+// Functions are validated in name order so the error for a multi-mistake
+// spec is stable run to run.
 func (p PhaseSchedule) Schedules() (map[string]*Schedule, error) {
+	names := make([]string, 0, len(p))
+	for fn := range p {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
 	out := make(map[string]*Schedule, len(p))
-	for fn, steps := range p {
-		s, err := NewSteps(steps)
+	for _, fn := range names {
+		s, err := NewSteps(p[fn])
 		if err != nil {
 			return nil, fmt.Errorf("workload: function %s: %w", fn, err)
 		}

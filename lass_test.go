@@ -85,6 +85,7 @@ func TestPublicAPICatalogAndTraces(t *testing.T) {
 	}
 }
 
+//lass:wallclock exercises the re-exported real-time platform live.
 func TestPublicAPIRealtime(t *testing.T) {
 	p, err := lass.NewRealtime(lass.RealtimeConfig{
 		Cluster: lass.PaperCluster(),
