@@ -147,6 +147,13 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	if len(engines) > 0 {
 		b.Fatalf("BENCH_federation.json baseline is missing engine-bench scenarios %v; regenerate with %s", engines, regen)
 	}
+	controls, err := experiments.MissingControlScenarios(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(controls) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing control-bench scenarios %v; regenerate with %s", controls, regen)
+	}
 }
 
 // BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
@@ -465,6 +472,47 @@ func BenchmarkMetroDay(b *testing.B) {
 				b.ReportMetric(st.AllocsPerEvent(), "allocs/event")
 			}
 		})
+	}
+}
+
+// BenchmarkControlPlane runs the control-plane benchmark — per-function
+// M/M/c sizing plus the federation-wide three-pass allocation, cold vs
+// warm, on the 100-site metro demand set — and guards the incremental
+// control plane's floors: the warm steady state must clear at least 3x the
+// cold epoch rate (the dev-box ratio is orders of magnitude higher; the
+// floor is set low so slow CI hardware passes but losing the warm path
+// does not) and allocate exactly zero heap objects per epoch. CI runs this
+// with -benchtime=1x as part of the perf smoke.
+func BenchmarkControlPlane(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := experiments.Options{Seed: 1}
+		cold, err := experiments.ControlEpochs(opt, "cold", 100, 8, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steady, err := experiments.ControlEpochs(opt, "steady", 100, 8, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Re-measure before failing: a stray runtime allocation can land in
+		// the measured window, but a real regression allocates every epoch
+		// and fails every attempt.
+		for attempt := 0; steady.Allocs != 0 && attempt < 2; attempt++ {
+			if steady, err = experiments.ControlEpochs(opt, "steady", 100, 8, 200); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if steady.Allocs != 0 {
+			b.Fatalf("warm steady-state control epochs allocated %d times over %d epochs; want exactly 0",
+				steady.Allocs, steady.Epochs)
+		}
+		if se, ce := steady.EpochsPerSec(), cold.EpochsPerSec(); se < 3*ce {
+			b.Fatalf("warm steady state ran %.0f epochs/sec, below 3x the cold rate %.0f", se, ce)
+		}
+		b.ReportMetric(cold.EpochsPerSec(), "cold-epochs/sec")
+		b.ReportMetric(steady.EpochsPerSec(), "steady-epochs/sec")
+		b.ReportMetric(steady.AllocsPerEpoch(), "steady-allocs/epoch")
 	}
 }
 

@@ -109,6 +109,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "with -federation: also write the sweep table as JSON (e.g. BENCH_federation.json)")
 		quickSweep = flag.Bool("quick", false, "shorten the -federation sweep for smoke testing")
 		workers    = flag.Int("sweep-workers", 1, "with -federation: concurrent sweep cells (1 = serial; output is byte-identical at any worker count)")
+		allocWork  = flag.Int("alloc-workers", 1, "with -federation -global-fairshare: worker pool for the global allocator's per-site feasibility clamps (1 = serial; grants are byte-identical at any worker count)")
 		scheduler  = flag.String("scheduler", "heap", "engine timer-queue implementation (heap|calendar); identical results either way")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -142,7 +143,7 @@ func main() {
 		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
 		"coordinator": true,
 		"admission":   true, "offered-load": true, "peer-select": true,
-		"cloud-max-concurrency": true, "sweep-workers": true,
+		"cloud-max-concurrency": true, "sweep-workers": true, "alloc-workers": true,
 		"out": true, "json": true, "quick": true}
 
 	if *fed {
@@ -216,6 +217,7 @@ func main() {
 				OfferedLoad:             *offered,
 				PeerSelection:           *peerSel,
 				CloudMaxConcurrency:     *cloudConc,
+				AllocWorkers:            *allocWork,
 			},
 		}, *out, *jsonOut)
 		return

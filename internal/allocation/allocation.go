@@ -35,7 +35,6 @@ package allocation
 
 import (
 	"fmt"
-	"sort"
 
 	"lass/internal/fairshare"
 )
@@ -177,273 +176,10 @@ func validate(sites []SiteDemand) error {
 // reports. capped selects the water-filling AdjustCapped refinement (true,
 // the controller default) or the paper-faithful Adjust at every tree
 // level.
+//
+// Allocate is the one-shot form: it runs a fresh Allocator and drops it, so
+// the caller owns the returned Result. Epoch loops should hold a single
+// Allocator instead and let unchanged sites reuse their previous work.
 func Allocate(sites []SiteDemand, capped bool) (*Result, error) {
-	if err := validate(sites); err != nil {
-		return nil, err
-	}
-	res := &Result{}
-	for _, s := range sites {
-		res.TotalCapacityCPU += s.CapacityCPU
-		for _, fd := range s.Functions {
-			res.TotalDesiredCPU += fd.DesiredCPU
-		}
-	}
-
-	// Pass 1 — entitlement: capped water-filling over the federation's
-	// total edge capacity, site → user → function.
-	root := &fairshare.Node{ID: "::federation"}
-	for _, s := range sites {
-		w := s.Weight
-		if w == 0 {
-			w = 1
-		}
-		root.Children = append(root.Children, subtree(s, "site:"+s.Site, w, nil))
-	}
-	entitled, err := fairshare.AllocateTree(root, res.TotalCapacityCPU, capped)
-	if err != nil {
-		return nil, err
-	}
-
-	// Pass 2 — feasibility: clamp each site's enforceable grants to its
-	// physical capacity. Re-running the subtree with desires capped at the
-	// entitlement keeps the shortfall division on the same weights; when
-	// the capped desires already fit, every function simply receives
-	// min(desire, entitlement).
-	granted := make(map[string]map[string]int64, len(sites))
-	spare := make(map[string]int64, len(sites))
-	for _, s := range sites {
-		id := "site:" + s.Site
-		want := make(map[string]int64, len(s.Functions))
-		for _, fd := range s.Functions {
-			e := entitled[id+"/"+fd.Name]
-			if e > fd.DesiredCPU {
-				e = fd.DesiredCPU
-			}
-			want[fd.Name] = e
-		}
-		g, err := fairshare.AllocateTree(subtree(s, id, 1, want), s.CapacityCPU, capped)
-		if err != nil {
-			return nil, err
-		}
-		siteGrant := make(map[string]int64, len(s.Functions))
-		var sum int64
-		for _, fd := range s.Functions {
-			siteGrant[fd.Name] = g[id+"/"+fd.Name]
-			sum += siteGrant[fd.Name]
-		}
-		granted[s.Site] = siteGrant
-		spare[s.Site] = s.CapacityCPU - sum
-	}
-
-	// Pass 3 — spreading: entitlement displaced by the physical clamp is
-	// granted at other sites that serve the same function and have idle
-	// capacity — proportionally to their spare, so one nearby peer is not
-	// packed solid while others idle — letting those sites pre-provision
-	// for the offloads that will follow. When several functions compete
-	// for the same spread pool, the pool is divided by a second
-	// water-filling over the overflow demands in proportion to function
-	// weight (AdjustCapped over the reachable spare), not by name order:
-	// a heavy function displaced from its hot site keeps its weight
-	// advantage wherever its overflow lands. Functions whose host sets
-	// run dry return their unplaced share to the next round, until no
-	// placement makes progress.
-	type spreadDemand struct {
-		fn     string
-		need   int64
-		weight float64
-	}
-	overflowOf := make(map[string]*spreadDemand)
-	var overflow []*spreadDemand
-	for _, s := range sites {
-		id := "site:" + s.Site
-		for _, fd := range s.Functions {
-			e := entitled[id+"/"+fd.Name]
-			if e > fd.DesiredCPU {
-				e = fd.DesiredCPU
-			}
-			if miss := e - granted[s.Site][fd.Name]; miss > 0 {
-				d := overflowOf[fd.Name]
-				if d == nil {
-					d = &spreadDemand{fn: fd.Name, weight: fd.Weight}
-					overflowOf[fd.Name] = d
-					overflow = append(overflow, d)
-				}
-				d.need += miss
-				if fd.Weight > d.weight {
-					// Sites may weight the same function differently; the
-					// heaviest overflowing claim arbitrates for all of them
-					// (deterministic, and never understates a priority).
-					d.weight = fd.Weight
-				}
-			}
-		}
-	}
-	// Heaviest first, ties by name, so host placement order — which
-	// mutates spare between functions — follows the same priority the
-	// water-filling grants capacity by.
-	sort.Slice(overflow, func(i, j int) bool {
-		if overflow[i].weight != overflow[j].weight {
-			return overflow[i].weight > overflow[j].weight
-		}
-		return overflow[i].fn < overflow[j].fn
-	})
-	type host struct {
-		site  string
-		spare int64
-		order int
-	}
-	// hostsOf returns the sites serving fn with spare capacity, most spare
-	// first (ties by site order for determinism), plus their total spare.
-	hostsOf := func(fn string) ([]host, int64) {
-		var hosts []host
-		var total int64
-		for i, s := range sites {
-			if spare[s.Site] <= 0 {
-				continue
-			}
-			for _, fd := range s.Functions {
-				if fd.Name == fn {
-					hosts = append(hosts, host{s.Site, spare[s.Site], i})
-					total += spare[s.Site]
-					break
-				}
-			}
-		}
-		sort.Slice(hosts, func(i, j int) bool {
-			if hosts[i].spare != hosts[j].spare {
-				return hosts[i].spare > hosts[j].spare
-			}
-			return hosts[i].order < hosts[j].order
-		})
-		return hosts, total
-	}
-	for {
-		// One water-filling round: each function's demand is its remaining
-		// overflow capped at what its hosts could physically take, and the
-		// pool is the union of every competing function's reachable spare.
-		var demands []fairshare.Demand
-		var pool int64
-		inPool := make(map[string]bool)
-		for _, d := range overflow {
-			if d.need <= 0 {
-				continue
-			}
-			hosts, hostSpare := hostsOf(d.fn)
-			if hostSpare == 0 {
-				continue
-			}
-			want := d.need
-			if want > hostSpare {
-				want = hostSpare
-			}
-			demands = append(demands, fairshare.Demand{ID: d.fn, Weight: d.weight, Desired: want})
-			for _, h := range hosts {
-				if !inPool[h.site] {
-					inPool[h.site] = true
-					pool += spare[h.site]
-				}
-			}
-		}
-		if len(demands) == 0 {
-			break
-		}
-		allocs, err := fairshare.AdjustCapped(demands, pool)
-		if err != nil {
-			return nil, err
-		}
-		progress := false
-		for _, a := range allocs {
-			// Place this function's share on its hosts: a proportional
-			// first pass, then a largest-spare-first mop-up for the
-			// flooring remainder.
-			hosts, hostSpare := hostsOf(a.ID)
-			amount := a.Adjusted
-			if amount > hostSpare {
-				amount = hostSpare
-			}
-			if amount <= 0 {
-				continue
-			}
-			rem := amount
-			for _, h := range hosts {
-				take := amount * h.spare / hostSpare
-				granted[h.site][a.ID] += take
-				spare[h.site] -= take
-				rem -= take
-			}
-			for _, h := range hosts {
-				if rem == 0 {
-					break
-				}
-				take := spare[h.site]
-				if take > rem {
-					take = rem
-				}
-				if take > 0 {
-					granted[h.site][a.ID] += take
-					spare[h.site] -= take
-					rem -= take
-				}
-			}
-			overflowOf[a.ID].need -= amount
-			progress = true
-		}
-		if !progress {
-			break
-		}
-	}
-
-	// Stranded capacity: idle CPU that even spreading could not pair with
-	// the demand still unmet federation-wide.
-	var totalSpare, totalUnmet int64
-	perFnDesired := make(map[string]int64)
-	perFnGranted := make(map[string]int64)
-	for _, s := range sites {
-		totalSpare += spare[s.Site]
-		for _, fd := range s.Functions {
-			perFnDesired[fd.Name] += fd.DesiredCPU
-			perFnGranted[fd.Name] += granted[s.Site][fd.Name]
-		}
-	}
-	for fn, d := range perFnDesired {
-		if miss := d - perFnGranted[fn]; miss > 0 {
-			totalUnmet += miss
-		}
-	}
-	res.StrandedCPU = totalSpare
-	if totalUnmet < totalSpare {
-		res.StrandedCPU = totalUnmet
-	}
-
-	// Drift: L1 distance to the allocation each site would have computed
-	// locally from the same demands (its own subtree over its own
-	// capacity) — zero when global allocation changes nothing.
-	for _, s := range sites {
-		id := "site:" + s.Site
-		local, err := fairshare.AllocateTree(subtree(s, id, 1, nil), s.CapacityCPU, capped)
-		if err != nil {
-			return nil, err
-		}
-		for _, fd := range s.Functions {
-			d := granted[s.Site][fd.Name] - local[id+"/"+fd.Name]
-			if d < 0 {
-				d = -d
-			}
-			res.DriftCPU += d
-		}
-	}
-
-	for _, s := range sites {
-		id := "site:" + s.Site
-		for _, fd := range s.Functions {
-			res.Grants = append(res.Grants, Grant{
-				Site:        s.Site,
-				Function:    fd.Name,
-				DesiredCPU:  fd.DesiredCPU,
-				EntitledCPU: entitled[id+"/"+fd.Name],
-				GrantedCPU:  granted[s.Site][fd.Name],
-			})
-		}
-	}
-	return res, nil
+	return NewAllocator().Allocate(sites, capped)
 }

@@ -1,0 +1,598 @@
+package allocation
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"lass/internal/fairshare"
+)
+
+// Allocator runs global allocation epochs incrementally. It produces results
+// bit-identical to the one-shot Allocate — the differential fuzz in
+// allocator_test.go replays randomized epoch sequences against a frozen copy
+// of the original implementation — while reusing everything an epoch shares
+// with the previous one:
+//
+//   - Sites whose SiteDemand is unchanged keep their cached pass-1 subtree,
+//     their drift-pass local allocation, and — when their pass-2 clamp input
+//     (the per-function min(entitlement, desire) vector) is also unchanged —
+//     their pass-2 feasibility clamp.
+//   - Scratch buffers (result slice, entitlement map, spare/overflow/host
+//     scratch) persist across epochs, so an epoch whose inputs are entirely
+//     unchanged — the steady state between demand shifts — performs zero
+//     heap allocations and returns the previous result.
+//   - Dirty-site pass-2 clamps are independent subproblems (one subtree, one
+//     capacity each); with Workers > 1 they run on a deterministic worker
+//     pool and are committed in site order, so serial and parallel output
+//     are byte-identical (same discipline as the experiments sweep runner).
+//
+// An Allocator is not safe for concurrent use. The returned Result is owned
+// by the Allocator and valid until the next Allocate call.
+type Allocator struct {
+	// Workers bounds the goroutines used for dirty-site pass-2 clamps.
+	// Values <= 1 run the clamps serially; the output is identical either
+	// way, only wall-clock changes.
+	Workers int
+
+	havePrev bool
+	capped   bool
+	order    []*siteCache // last epoch's caches in site order, for the fast path
+
+	caches map[string]*siteCache
+	res    Result
+
+	root     *fairshare.Node
+	entitled map[string]int64
+	spare    map[string]int64
+
+	dirty []bool
+	work  []int
+	errs  []error
+
+	overflow   []spreadDemand
+	overflowOf map[string]int
+	hosts      []host
+	demands    []fairshare.Demand
+	inPool     map[string]bool
+
+	perFnDesired map[string]int64
+	perFnGranted map[string]int64
+	nameSet      map[string]bool
+}
+
+// siteCache holds everything one site's epoch work that can survive to the
+// next epoch, keyed by site name so sites may reorder without invalidation.
+type siteCache struct {
+	// prev is a deep copy of the site's last demand report (the Functions
+	// backing array is owned by the cache), compared against the incoming
+	// report to decide dirtiness.
+	prev SiteDemand
+
+	// tree is the site's scheduling subtree with raw desires at the leaves.
+	// Pass 1 mounts it under the federation root (its weight is the site
+	// weight) and the drift pass re-divides it against the site's own
+	// capacity — AllocateTree never reads the root node's weight, so one
+	// tree serves both, exactly as two separately built subtrees would.
+	tree     *fairshare.Node
+	wantTree *fairshare.Node   // same shape; leaves carry the clamp input
+	leaves   []*fairshare.Node // wantTree leaves, in Functions order
+	leafIDs  []string          // "site:<name>/<fn>", in Functions order
+	fnIndex  map[string]int    // function name → Functions index
+
+	want     []int64 // last clamp input: min(entitled, desired) per function
+	wantNext []int64 // this epoch's clamp input, swapped into want
+	haveWant bool
+
+	clamp    []int64 // pass-2 clamp result per function — the reusable value
+	sum      int64   // Σ clamp
+	grants   []int64 // working grants this epoch: clamp plus pass-3 spread
+	clampMap map[string]int64
+
+	localMap  map[string]int64 // drift pass: the site's own local allocation
+	haveLocal bool
+}
+
+type spreadDemand struct {
+	fn     string
+	need   int64
+	weight float64
+}
+
+type host struct {
+	site  string
+	spare int64
+	order int
+}
+
+// NewAllocator returns an empty Allocator; the first Allocate call behaves
+// exactly like the one-shot Allocate and primes the caches.
+func NewAllocator() *Allocator {
+	return &Allocator{
+		caches:       make(map[string]*siteCache),
+		entitled:     make(map[string]int64),
+		spare:        make(map[string]int64),
+		overflowOf:   make(map[string]int),
+		inPool:       make(map[string]bool),
+		perFnDesired: make(map[string]int64),
+		perFnGranted: make(map[string]int64),
+		nameSet:      make(map[string]bool),
+		root:         &fairshare.Node{ID: "::federation"},
+	}
+}
+
+func siteEqual(a *SiteDemand, b *SiteDemand) bool {
+	if a.Site != b.Site || a.Weight != b.Weight ||
+		a.CapacityCPU != b.CapacityCPU || len(a.Functions) != len(b.Functions) {
+		return false
+	}
+	for i := range a.Functions {
+		if a.Functions[i] != b.Functions[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func int64sEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fail invalidates every cached intermediate before surfacing err: an epoch
+// abandoned partway may have swapped want vectors or rebuilt trees without
+// committing matching grants, so nothing may be reused afterwards.
+func (a *Allocator) fail(err error) (*Result, error) {
+	a.havePrev = false
+	for _, c := range a.caches {
+		c.haveWant = false
+		c.haveLocal = false
+	}
+	return nil, err
+}
+
+// rebuild refreshes c from s: deep-copies the demand report and rebuilds the
+// subtrees, leaf index, and per-function scratch. Called only for new or
+// dirty sites — clean sites reuse everything.
+func (c *siteCache) rebuild(s *SiteDemand) {
+	c.prev.Site = s.Site
+	c.prev.Weight = s.Weight
+	c.prev.CapacityCPU = s.CapacityCPU
+	c.prev.Functions = append(c.prev.Functions[:0], s.Functions...)
+
+	id := "site:" + s.Site
+	w := s.Weight
+	if w == 0 {
+		w = 1
+	}
+	c.tree = subtree(c.prev, id, w, nil)
+	c.wantTree = subtree(c.prev, id, 1, nil)
+
+	c.leafIDs = c.leafIDs[:0]
+	for _, fd := range c.prev.Functions {
+		c.leafIDs = append(c.leafIDs, id+"/"+fd.Name)
+	}
+	c.leaves = c.leaves[:0]
+	if c.fnIndex == nil {
+		c.fnIndex = make(map[string]int, len(c.prev.Functions))
+	}
+	clear(c.fnIndex)
+	byID := make(map[string]*fairshare.Node, len(c.prev.Functions))
+	collectLeaves(c.wantTree, byID)
+	for j, fd := range c.prev.Functions {
+		c.leaves = append(c.leaves, byID[c.leafIDs[j]])
+		c.fnIndex[fd.Name] = j
+	}
+	if c.clampMap == nil {
+		c.clampMap = make(map[string]int64, len(c.prev.Functions))
+	}
+	if c.localMap == nil {
+		c.localMap = make(map[string]int64, len(c.prev.Functions))
+	}
+	c.haveWant = false
+	c.haveLocal = false
+}
+
+func collectLeaves(n *fairshare.Node, byID map[string]*fairshare.Node) {
+	if n.Leaf() {
+		byID[n.ID] = n
+		return
+	}
+	for _, child := range n.Children {
+		collectLeaves(child, byID)
+	}
+}
+
+// clampSite runs one site's pass-2 feasibility clamp: the site subtree with
+// desires capped at the entitlement, divided over the site's physical
+// capacity. Sites are independent subproblems, so clampSite may run on any
+// goroutine of the worker pool; it writes only its own site's cache.
+//
+//lass:bitexact
+func (c *siteCache) clampSite(capped bool) error {
+	for j := range c.leaves {
+		c.leaves[j].Desired = c.want[j]
+	}
+	if err := fairshare.AllocateTreeInto(c.wantTree, c.prev.CapacityCPU, capped, c.clampMap); err != nil {
+		return err
+	}
+	c.clamp = c.clamp[:0]
+	c.sum = 0
+	for j := range c.leafIDs {
+		g := c.clampMap[c.leafIDs[j]]
+		c.clamp = append(c.clamp, g)
+		c.sum += g
+	}
+	return nil
+}
+
+// runClamps executes the dirty-site clamps in a.work, serially or on a
+// bounded worker pool. Parallel runs commit nothing out of order: each clamp
+// writes only its own siteCache, errors are collected per work index, and
+// the lowest-index error is returned — the same fail-fast result the serial
+// loop produces.
+func (a *Allocator) runClamps(sites []SiteDemand, capped bool) error {
+	if a.Workers <= 1 || len(a.work) <= 1 {
+		for _, i := range a.work {
+			if err := a.caches[sites[i].Site].clampSite(capped); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := a.Workers
+	if workers > len(a.work) {
+		workers = len(a.work)
+	}
+	a.errs = a.errs[:0]
+	for range a.work {
+		a.errs = append(a.errs, nil)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(a.work) {
+					return
+				}
+				a.errs[k] = a.caches[sites[a.work[k]].Site].clampSite(capped)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range a.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Allocate runs one global allocation epoch, reusing whatever the previous
+// epoch already established. The semantics — and the bits of the result —
+// are exactly Allocate's; see the package comment for the three passes.
+func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
+	// Fast path: inputs identical to the previous successful epoch — the
+	// steady state between demand shifts. The cached result is that epoch's
+	// answer, which is the answer for these inputs too; nothing allocates.
+	if a.havePrev && capped == a.capped && len(sites) == len(a.order) {
+		same := true
+		for i := range sites {
+			if !siteEqual(&a.order[i].prev, &sites[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			return &a.res, nil
+		}
+	}
+
+	if err := validate(sites); err != nil {
+		return a.fail(err)
+	}
+	if capped != a.capped {
+		// The water-filling refinement changes every division; nothing
+		// cached under the other flag may be reused.
+		for _, c := range a.caches {
+			c.haveWant = false
+			c.haveLocal = false
+		}
+		a.capped = capped
+	}
+
+	// Refresh per-site caches and mark dirty sites.
+	a.dirty = a.dirty[:0]
+	for i := range sites {
+		s := &sites[i]
+		c := a.caches[s.Site]
+		d := false
+		if c == nil {
+			c = &siteCache{}
+			a.caches[s.Site] = c
+			c.rebuild(s)
+			d = true
+		} else if !siteEqual(&c.prev, s) {
+			c.rebuild(s)
+			d = true
+		}
+		a.dirty = append(a.dirty, d)
+	}
+	if len(a.caches) > len(sites) {
+		clear(a.nameSet)
+		for i := range sites {
+			a.nameSet[sites[i].Site] = true
+		}
+		for name := range a.caches {
+			if !a.nameSet[name] {
+				delete(a.caches, name)
+			}
+		}
+	}
+
+	a.res.Grants = a.res.Grants[:0]
+	a.res.TotalCapacityCPU = 0
+	a.res.TotalDesiredCPU = 0
+	a.res.StrandedCPU = 0
+	a.res.DriftCPU = 0
+	for i := range sites {
+		a.res.TotalCapacityCPU += sites[i].CapacityCPU
+		for _, fd := range sites[i].Functions {
+			a.res.TotalDesiredCPU += fd.DesiredCPU
+		}
+	}
+
+	// Pass 1 — entitlement: capped water-filling over the federation's
+	// total edge capacity, site → user → function. Clean sites mount their
+	// cached subtree unchanged; only the root's child list is rebuilt (the
+	// site order may have changed even when no site's content did).
+	a.root.Children = a.root.Children[:0]
+	for i := range sites {
+		a.root.Children = append(a.root.Children, a.caches[sites[i].Site].tree)
+	}
+	if err := fairshare.AllocateTreeInto(a.root, a.res.TotalCapacityCPU, capped, a.entitled); err != nil {
+		return a.fail(err)
+	}
+
+	// Pass 2 — feasibility: clamp each site's enforceable grants to its
+	// physical capacity. The clamp input is the per-function
+	// min(entitlement, desire) vector; a clean site whose vector is
+	// unchanged — entitlements depend on every site, so dirtiness elsewhere
+	// can shift it — reuses last epoch's clamp verbatim. The rest are
+	// recomputed, in parallel when Workers allows.
+	a.work = a.work[:0]
+	for i := range sites {
+		c := a.caches[sites[i].Site]
+		c.wantNext = c.wantNext[:0]
+		for j, fd := range c.prev.Functions {
+			e := a.entitled[c.leafIDs[j]]
+			if e > fd.DesiredCPU {
+				e = fd.DesiredCPU
+			}
+			c.wantNext = append(c.wantNext, e)
+		}
+		if a.dirty[i] || !c.haveWant || !int64sEqual(c.wantNext, c.want) {
+			a.work = append(a.work, i)
+		}
+		c.want, c.wantNext = c.wantNext, c.want
+		c.haveWant = true
+	}
+	if err := a.runClamps(sites, capped); err != nil {
+		return a.fail(err)
+	}
+	clear(a.spare)
+	for i := range sites {
+		c := a.caches[sites[i].Site]
+		// The pass-3 spread mutates the working grants in place; the pure
+		// clamp result stays in c.clamp so clean sites can reuse it next
+		// epoch.
+		c.grants = append(c.grants[:0], c.clamp...)
+		a.spare[sites[i].Site] = sites[i].CapacityCPU - c.sum
+	}
+
+	// Pass 3 — spreading: entitlement displaced by the physical clamp is
+	// granted at other sites that serve the same function and have idle
+	// capacity, arbitrated by a second weight-proportional water-filling.
+	// Identical round structure and orderings to the one-shot allocator:
+	// overflow heaviest-first (ties by name), hosts most-spare-first (ties
+	// by site order).
+	a.overflow = a.overflow[:0]
+	clear(a.overflowOf)
+	for i := range sites {
+		c := a.caches[sites[i].Site]
+		for j, fd := range c.prev.Functions {
+			if miss := c.want[j] - c.grants[j]; miss > 0 {
+				k, ok := a.overflowOf[fd.Name]
+				if !ok {
+					k = len(a.overflow)
+					a.overflowOf[fd.Name] = k
+					a.overflow = append(a.overflow, spreadDemand{fn: fd.Name, weight: fd.Weight})
+				}
+				a.overflow[k].need += miss
+				if fd.Weight > a.overflow[k].weight {
+					// Sites may weight the same function differently; the
+					// heaviest overflowing claim arbitrates for all of them.
+					a.overflow[k].weight = fd.Weight
+				}
+			}
+		}
+	}
+	sort.Slice(a.overflow, func(i, j int) bool {
+		if a.overflow[i].weight != a.overflow[j].weight {
+			return a.overflow[i].weight > a.overflow[j].weight
+		}
+		return a.overflow[i].fn < a.overflow[j].fn
+	})
+	// The sort moved elements; rebuild the name index before placement
+	// rounds look functions up by ID.
+	for k := range a.overflow {
+		a.overflowOf[a.overflow[k].fn] = k
+	}
+	hostsOf := func(fn string) ([]host, int64) {
+		a.hosts = a.hosts[:0]
+		var total int64
+		for i := range sites {
+			if a.spare[sites[i].Site] <= 0 {
+				continue
+			}
+			c := a.caches[sites[i].Site]
+			if _, serves := c.fnIndex[fn]; serves {
+				a.hosts = append(a.hosts, host{sites[i].Site, a.spare[sites[i].Site], i})
+				total += a.spare[sites[i].Site]
+			}
+		}
+		sort.Slice(a.hosts, func(i, j int) bool {
+			if a.hosts[i].spare != a.hosts[j].spare {
+				return a.hosts[i].spare > a.hosts[j].spare
+			}
+			return a.hosts[i].order < a.hosts[j].order
+		})
+		return a.hosts, total
+	}
+	for {
+		a.demands = a.demands[:0]
+		var pool int64
+		clear(a.inPool)
+		for k := range a.overflow {
+			d := &a.overflow[k]
+			if d.need <= 0 {
+				continue
+			}
+			hosts, hostSpare := hostsOf(d.fn)
+			if hostSpare == 0 {
+				continue
+			}
+			want := d.need
+			if want > hostSpare {
+				want = hostSpare
+			}
+			a.demands = append(a.demands, fairshare.Demand{ID: d.fn, Weight: d.weight, Desired: want})
+			for _, h := range hosts {
+				if !a.inPool[h.site] {
+					a.inPool[h.site] = true
+					pool += a.spare[h.site]
+				}
+			}
+		}
+		if len(a.demands) == 0 {
+			break
+		}
+		allocs, err := fairshare.AdjustCapped(a.demands, pool)
+		if err != nil {
+			return a.fail(err)
+		}
+		progress := false
+		for _, al := range allocs {
+			hosts, hostSpare := hostsOf(al.ID)
+			amount := al.Adjusted
+			if amount > hostSpare {
+				amount = hostSpare
+			}
+			if amount <= 0 {
+				continue
+			}
+			rem := amount
+			for _, h := range hosts {
+				take := amount * h.spare / hostSpare
+				hc := a.caches[h.site]
+				hc.grants[hc.fnIndex[al.ID]] += take
+				a.spare[h.site] -= take
+				rem -= take
+			}
+			for _, h := range hosts {
+				if rem == 0 {
+					break
+				}
+				take := a.spare[h.site]
+				if take > rem {
+					take = rem
+				}
+				if take > 0 {
+					hc := a.caches[h.site]
+					hc.grants[hc.fnIndex[al.ID]] += take
+					a.spare[h.site] -= take
+					rem -= take
+				}
+			}
+			a.overflow[a.overflowOf[al.ID]].need -= amount
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Stranded capacity: idle CPU that even spreading could not pair with
+	// the demand still unmet federation-wide.
+	var totalSpare, totalUnmet int64
+	clear(a.perFnDesired)
+	clear(a.perFnGranted)
+	for i := range sites {
+		totalSpare += a.spare[sites[i].Site]
+		c := a.caches[sites[i].Site]
+		for j, fd := range c.prev.Functions {
+			a.perFnDesired[fd.Name] += fd.DesiredCPU
+			a.perFnGranted[fd.Name] += c.grants[j]
+		}
+	}
+	for fn, d := range a.perFnDesired {
+		if miss := d - a.perFnGranted[fn]; miss > 0 {
+			totalUnmet += miss
+		}
+	}
+	a.res.StrandedCPU = totalSpare
+	if totalUnmet < totalSpare {
+		a.res.StrandedCPU = totalUnmet
+	}
+
+	// Drift: L1 distance to the allocation each site would have computed
+	// locally from the same demands. The local division depends only on the
+	// site's own demand report, so clean sites reuse last epoch's.
+	for i := range sites {
+		c := a.caches[sites[i].Site]
+		if !c.haveLocal {
+			if err := fairshare.AllocateTreeInto(c.tree, c.prev.CapacityCPU, capped, c.localMap); err != nil {
+				return a.fail(err)
+			}
+			c.haveLocal = true
+		}
+		for j := range c.leafIDs {
+			d := c.grants[j] - c.localMap[c.leafIDs[j]]
+			if d < 0 {
+				d = -d
+			}
+			a.res.DriftCPU += d
+		}
+	}
+
+	for i := range sites {
+		c := a.caches[sites[i].Site]
+		for j, fd := range c.prev.Functions {
+			a.res.Grants = append(a.res.Grants, Grant{
+				Site:        sites[i].Site,
+				Function:    fd.Name,
+				DesiredCPU:  fd.DesiredCPU,
+				EntitledCPU: a.entitled[c.leafIDs[j]],
+				GrantedCPU:  c.grants[j],
+			})
+		}
+	}
+
+	a.order = a.order[:0]
+	for i := range sites {
+		a.order = append(a.order, a.caches[sites[i].Site])
+	}
+	a.havePrev = true
+	return &a.res, nil
+}

@@ -192,6 +192,15 @@ type Function struct {
 	// Burst reports whether the most recent estimate came from the
 	// short window.
 	Burst bool
+
+	// sizeHint and hetHint warm-start the next epoch's container-count
+	// scans from this epoch's answers (queuing.MinimalContainersFrom /
+	// AdditionalHetContainersFrom). The sized result is identical for any
+	// hint — only the number of candidates the scan touches changes — so
+	// the hints never need invalidation, even across service-rate or
+	// demand swings.
+	sizeHint int
+	hetHint  int
 }
 
 // Learner exposes the function's online service-time learner so the host
@@ -234,6 +243,15 @@ type Controller struct {
 	// helper across a second call to it.
 	liveScratch  []*cluster.Container
 	drainScratch []*cluster.Container
+	// Per-epoch scratch: estimate, Demands, desiredContainers and
+	// grantTargets return views of these buffers so a steady-state control
+	// epoch performs no heap allocations. Each helper's result is valid
+	// only until its next call on this controller.
+	demandScratch []fairshare.Demand
+	demandsOut    []FunctionDemand
+	rateScratch   []float64
+	targetScratch map[string]int64
+	feasScratch   []fairshare.Demand
 }
 
 // New builds a controller for the cluster.
@@ -252,13 +270,14 @@ func New(cfg Config, cl *cluster.Cluster, hooks Hooks) (*Controller, error) {
 		return nil, fmt.Errorf("controller: deflation increment %v out of (0,1]", cfg.DeflationIncrement)
 	}
 	return &Controller{
-		cfg:      cfg,
-		cluster:  cl,
-		hooks:    hooks,
-		funcs:    make(map[string]*Function),
-		users:    make(map[string]float64),
-		drained:  make(map[cluster.ContainerID]time.Duration),
-		headroom: cl.TotalCPU(), // optimistic until the first Step runs
+		cfg:           cfg,
+		cluster:       cl,
+		hooks:         hooks,
+		funcs:         make(map[string]*Function),
+		users:         make(map[string]float64),
+		drained:       make(map[cluster.ContainerID]time.Duration),
+		headroom:      cl.TotalCPU(), // optimistic until the first Step runs
+		targetScratch: make(map[string]int64),
 	}, nil
 }
 
@@ -424,10 +443,14 @@ func (ctl *Controller) desiredContainers(f *Function, lambda float64) (int, erro
 		}
 	}
 	if !heterogeneous {
-		c, err := queuing.MinimalContainers(lambda, mu, f.SLO)
+		// Warm-started scan: seeded from the previous epoch's answer, so
+		// slowly-drifting rates touch O(1) candidates. The result equals
+		// the cold scan's for any seed.
+		c, err := queuing.MinimalContainersFrom(lambda, mu, f.SLO, f.sizeHint)
 		if err != nil {
 			return 0, err
 		}
+		f.sizeHint = c
 		if c < ctl.cfg.MinContainers {
 			c = ctl.cfg.MinContainers
 		}
@@ -437,19 +460,22 @@ func (ctl *Controller) desiredContainers(f *Function, lambda float64) (int, erro
 	// need on top of the deflated ones (Fig 4's reaction)? The desired
 	// count never drops below what a fresh homogeneous pool would use, so
 	// scale-down remains possible once pressure ends.
-	rates := make([]float64, 0, len(live))
+	rates := ctl.rateScratch[:0]
 	for _, c := range live {
 		rates = append(rates, f.Spec.RateAt(c.CPUFraction()))
 	}
-	add, err := queuing.AdditionalHetContainers(lambda, rates, mu, f.SLO)
+	ctl.rateScratch = rates
+	add, err := queuing.AdditionalHetContainersFrom(lambda, rates, mu, f.SLO, f.hetHint)
 	if err != nil {
 		return 0, err
 	}
+	f.hetHint = add
 	want := len(live) + add
-	homog, err := queuing.MinimalContainers(lambda, mu, f.SLO)
+	homog, err := queuing.MinimalContainersFrom(lambda, mu, f.SLO, f.sizeHint)
 	if err != nil {
 		return 0, err
 	}
+	f.sizeHint = homog
 	if add == 0 && homog < want {
 		// Pool already satisfies the SLO with room to spare: allow the
 		// homogeneous target so over-provisioned deflated pools shrink.
@@ -484,8 +510,12 @@ type FunctionDemand struct {
 // floors are no-ops for sizing-governed pools, so scale-down is
 // unimpeded. The federation-level global allocator gathers these from
 // every site's controller each epoch.
+//
+// The result aliases a controller-owned scratch buffer: it is valid only
+// until the next Demands call and must not be retained. Callers that need
+// the report later copy it (the federation's epoch snapshot does).
 func (ctl *Controller) Demands() []FunctionDemand {
-	out := make([]FunctionDemand, 0, len(ctl.order))
+	out := ctl.demandsOut[:0]
 	for _, name := range ctl.order {
 		f := ctl.funcs[name]
 		uw := 1.0
@@ -511,6 +541,7 @@ func (ctl *Controller) Demands() []FunctionDemand {
 			DesiredCPU: desired,
 		})
 	}
+	ctl.demandsOut = out
 	return out
 }
 
@@ -603,7 +634,10 @@ func (ctl *Controller) Step() error {
 }
 
 // estimate runs the demand-estimation half of an epoch: per-function rate
-// estimates and model-driven desired capacity, with no enforcement.
+// estimates and model-driven desired capacity, with no enforcement. The
+// returned slice aliases a controller-owned scratch buffer, valid only
+// until the next estimate call — Step's enforcement consumes it before the
+// epoch ends, so a steady-state epoch allocates nothing here.
 func (ctl *Controller) estimate() ([]fairshare.Demand, error) {
 	now := ctl.hooks.Now()
 	ctl.stats.Steps++
@@ -640,7 +674,7 @@ func (ctl *Controller) estimate() ([]fairshare.Demand, error) {
 	}
 
 	// 2. Model-driven desired capacity.
-	demands := make([]fairshare.Demand, 0, len(ctl.order))
+	demands := ctl.demandScratch[:0]
 	for _, name := range ctl.order {
 		f := ctl.funcs[name]
 		want, err := ctl.desiredContainers(f, f.LambdaHat)
@@ -654,6 +688,7 @@ func (ctl *Controller) estimate() ([]fairshare.Demand, error) {
 			Desired: int64(want) * f.Spec.CPUMillis,
 		})
 	}
+	ctl.demandScratch = demands
 	return demands, nil
 }
 
@@ -715,8 +750,12 @@ func (ctl *Controller) enforceLocal(demands []fairshare.Demand) error {
 // An infeasible target set (summing beyond cluster capacity) is scaled
 // down by one local capped adjustment, so enforcement never tries to place
 // more CPU than physically exists.
+//
+// The returned map aliases controller-owned scratch, valid only until the
+// next grantTargets call (i.e. within the Step that requested it).
 func (ctl *Controller) grantTargets(demands []fairshare.Demand, capacity int64) (map[string]int64, error) {
-	targets := make(map[string]int64, len(demands))
+	clear(ctl.targetScratch)
+	targets := ctl.targetScratch
 	var totalTarget int64
 	for _, d := range demands {
 		t := d.Desired
@@ -735,10 +774,11 @@ func (ctl *Controller) grantTargets(demands []fairshare.Demand, capacity int64) 
 		totalTarget += t
 	}
 	if totalTarget > capacity {
-		feasible := make([]fairshare.Demand, len(demands))
-		for i, d := range demands {
-			feasible[i] = fairshare.Demand{ID: d.ID, Weight: d.Weight, Desired: targets[d.ID]}
+		feasible := ctl.feasScratch[:0]
+		for _, d := range demands {
+			feasible = append(feasible, fairshare.Demand{ID: d.ID, Weight: d.Weight, Desired: targets[d.ID]})
 		}
+		ctl.feasScratch = feasible
 		allocs, err := fairshare.AdjustCapped(feasible, capacity)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestControlPlaneBenchRows runs the quick control-plane benchmark and
+// checks its hard-asserted headlines hold (zero steady-state allocations
+// per epoch, warm ≥ 3× cold — ControlPlaneBench errors otherwise) and that
+// the table carries exactly the scenario rows the baseline guard pins.
+func TestControlPlaneBenchRows(t *testing.T) {
+	tab, err := ControlPlaneBench(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(controlScenarios) {
+		t.Fatalf("control-bench has %d rows, want the %d scenarios %v",
+			len(tab.Rows), len(controlScenarios), controlScenarios)
+	}
+	for i, want := range controlScenarios {
+		if tab.Rows[i][0] != want {
+			t.Fatalf("control-bench row %d is %s, want %s", i, tab.Rows[i][0], want)
+		}
+	}
+}
+
+// TestControlSwingParallelMatchesSerial pins the worker pool at the bench
+// harness level: the serial and 8-worker swing scenarios must hand the
+// same grants to every site at every epoch (the per-epoch sizing state is
+// deterministic, so equal sizing inputs + a byte-identical allocator mean
+// equal DesiredCPU trajectories).
+func TestControlSwingParallelMatchesSerial(t *testing.T) {
+	serial := newControlPlane(1, 20, 6)
+	par := newControlPlane(1, 20, 6)
+	par.alloc.Workers = 8
+	for e := 0; e < 12; e++ {
+		serial.swing(e)
+		par.swing(e)
+		if err := serial.epoch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := par.epoch(); err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.sites {
+			for j, fd := range serial.sites[i].Functions {
+				if got := par.sites[i].Functions[j].DesiredCPU; got != fd.DesiredCPU {
+					t.Fatalf("epoch %d site %s fn %s: parallel desired %d, serial %d",
+						e, serial.sites[i].Site, fd.Name, got, fd.DesiredCPU)
+				}
+			}
+		}
+	}
+}
+
+// TestMissingControlScenarios covers the baseline staleness guard: a
+// baseline without the nested Control table (or with an incomplete one)
+// must report the absent scenario rows; a freshly generated control table
+// must report none.
+func TestMissingControlScenarios(t *testing.T) {
+	missing, err := MissingControlScenarios([]byte(`{"Header":["policy"],"Rows":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != len(controlScenarios) {
+		t.Fatalf("pre-Control baseline reports %v missing, want all of %v", missing, controlScenarios)
+	}
+	partial := []byte(`{"Header":["policy"],"Rows":[],
+		"Control":{"Header":["scenario"],"Rows":[["cold"],["steady"]]}}`)
+	missing, err = MissingControlScenarios(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"swing", "swing-parallel"}
+	if len(missing) != len(want) {
+		t.Fatalf("partial baseline reports %v missing, want %v", missing, want)
+	}
+	for i := range want {
+		if missing[i] != want[i] {
+			t.Fatalf("partial baseline reports %v missing, want %v", missing, want)
+		}
+	}
+	tab, err := ControlPlaneBench(Options{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := &Table{ID: "federation-bench", Header: federationSweepHeader, Control: tab}
+	var buf bytes.Buffer
+	if err := full.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	missing, err = MissingControlScenarios(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("fresh control table reports %v missing, want none", missing)
+	}
+}

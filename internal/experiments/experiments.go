@@ -28,6 +28,10 @@ type Table struct {
 	// fed-bench baseline carries alongside the sweep rows. Omitted from
 	// the JSON when nil, so older baselines parse unchanged.
 	Engine *Table `json:",omitempty"`
+	// Control, when present, is the nested control-plane benchmark
+	// sub-table (epochs/sec and allocs/epoch, cold vs warm sizing and
+	// allocation) the fed-bench baseline carries. Omitted when nil.
+	Control *Table `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -142,6 +146,11 @@ type FedOptions struct {
 	// CloudMaxConcurrency caps concurrent cloud instances per function
 	// (0 = unbounded).
 	CloudMaxConcurrency int
+	// AllocWorkers bounds the worker pool the global allocator uses for
+	// its per-site feasibility clamps (≤1 = serial). Grants are
+	// byte-identical at any worker count; only coordinator wall-clock
+	// changes.
+	AllocWorkers int
 }
 
 // dur picks between the full (paper) and quick durations.

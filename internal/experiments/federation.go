@@ -98,6 +98,7 @@ func federationConfig(opt Options, sites []core.Config, placer federation.Placer
 		AllocEpoch:              opt.Fed.AllocEpoch,
 		OffloadAwareAdmission:   opt.Fed.Admission,
 		CloudMaxConcurrency:     opt.Fed.CloudMaxConcurrency,
+		AllocWorkers:            opt.Fed.AllocWorkers,
 	}
 	switch opt.Fed.PeerSelection {
 	case "":
@@ -227,6 +228,10 @@ type baselineTable struct {
 	// Engine is the nested engine-benchmark sub-table (nil in baselines
 	// predating it; MissingEngineScenarios treats that as fully stale).
 	Engine *baselineTable
+	// Control is the nested control-plane benchmark sub-table (nil in
+	// baselines predating it; MissingControlScenarios treats that as
+	// fully stale).
+	Control *baselineTable
 }
 
 func parseBaseline(baselineJSON []byte) (*baselineTable, error) {

@@ -195,11 +195,12 @@ func FederationCoordinator(opt Options) (*Table, error) {
 // FederationBench produces the committed BENCH_federation.json baseline:
 // the synthetic offload-policy sweep plus the coordinator sweep's rows,
 // merged into one table over the shared federationSweepHeader, with the
-// engine benchmark attached as the nested Engine sub-table — so the
-// baseline carries every column, coordinator scenario, and engine row the
-// CI guards (MissingBaselineColumns, MissingBaselinePolicies,
-// MissingCoordinatorScenarios, MissingEngineScenarios) check for.
-// Regenerate with
+// engine and control-plane benchmarks attached as the nested Engine and
+// Control sub-tables — so the baseline carries every column, coordinator
+// scenario, engine row, and control-plane row the CI guards
+// (MissingBaselineColumns, MissingBaselinePolicies,
+// MissingCoordinatorScenarios, MissingEngineScenarios,
+// MissingControlScenarios) check for. Regenerate with
 //
 //	go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 func FederationBench(opt Options) (*Table, error) {
@@ -215,11 +216,16 @@ func FederationBench(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctrl, err := ControlPlaneBench(opt)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
-		ID:     "federation-bench",
-		Title:  "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
-		Header: append([]string(nil), federationSweepHeader...),
-		Engine: eng,
+		ID:      "federation-bench",
+		Title:   "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
+		Header:  append([]string(nil), federationSweepHeader...),
+		Engine:  eng,
+		Control: ctrl,
 	}
 	for _, src := range []*Table{fed, coord} {
 		t.Rows = append(t.Rows, src.Rows...)

@@ -27,6 +27,7 @@ var Registry = map[string]Runner{
 	"federation-coordinator": FederationCoordinator,
 	"federation-bench":       FederationBench,
 	"engine-bench":           EngineBench,
+	"control-bench":          ControlPlaneBench,
 	"openwhisk":              OpenWhisk,
 	"ablation-estimator":     AblationEstimator,
 	"ablation-placement":     AblationPlacement,

@@ -211,14 +211,24 @@ func (n *Node) TotalDesired() int64 {
 // capped selects AdjustCapped (true) or the paper-faithful Adjust (false)
 // at every level.
 func AllocateTree(root *Node, capacity int64, capped bool) (map[string]int64, error) {
-	if root == nil {
-		return nil, fmt.Errorf("fairshare: nil tree")
-	}
 	out := make(map[string]int64)
-	if err := allocateNode(root, capacity, capped, out); err != nil {
+	if err := AllocateTreeInto(root, capacity, capped, out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// AllocateTreeInto is AllocateTree with a caller-owned result map: out is
+// cleared and refilled with one entry per leaf. Steady-state callers — the
+// federation's incremental allocator re-clamps site subtrees every epoch —
+// reuse one map instead of allocating a fresh one per call. The division
+// itself is identical to AllocateTree's; neither variant mutates the tree.
+func AllocateTreeInto(root *Node, capacity int64, capped bool, out map[string]int64) error {
+	if root == nil {
+		return fmt.Errorf("fairshare: nil tree")
+	}
+	clear(out)
+	return allocateNode(root, capacity, capped, out)
 }
 
 func allocateNode(n *Node, capacity int64, capped bool, out map[string]int64) error {

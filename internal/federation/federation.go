@@ -318,6 +318,12 @@ type Config struct {
 	// weight is a configuration error, and zero (like a missing entry)
 	// explicitly means the default weight 1.
 	SiteWeights []float64
+	// AllocWorkers bounds the worker pool the global allocator uses for
+	// its per-site feasibility clamps (allocation.Allocator.Workers).
+	// Values <= 1 run the clamps serially; the grants are byte-identical
+	// either way, only the coordinator's compute wall-clock changes — the
+	// simulation's timing model is unaffected.
+	AllocWorkers int
 
 	// OffloadAwareAdmission couples §3.4 admission control to placement:
 	// a request that would be rejected at an overloaded origin is first
@@ -435,6 +441,17 @@ type Federation struct {
 	grantDeliveries   uint64
 	allocErr          error
 
+	// alloc is the epoch loop's incremental global allocator: it keeps
+	// per-site caches across epochs so sites whose demand reports did not
+	// change reuse their previous feasibility clamps (steady-state epochs
+	// allocate nothing at all inside the allocator).
+	alloc *allocation.Allocator
+	// snapFree pools the demand-snapshot buffers allocEpoch uploads to the
+	// coordinator. A snapshot stays checked out while its gather leg is in
+	// flight — gathers can overlap the next epoch boundary on slow
+	// topologies — and returns to the pool after allocDeliver consumes it.
+	snapFree [][]allocation.SiteDemand
+
 	// ctxScratch backs the PlacementContext handed to the placer on every
 	// ingress decision. The engine is single-threaded and Place must not
 	// retain its context (see Placer), so one reusable value keeps the
@@ -502,7 +519,9 @@ func New(cfg Config) (*Federation, error) {
 		cloudRng:   xrand.New(cfg.Seed ^ 0xfed0),
 		peerRng:    xrand.New(cfg.Seed ^ 0x9ee2),
 		cloudPools: make(map[string]*cloudPool),
+		alloc:      allocation.NewAllocator(),
 	}
+	f.alloc.Workers = cfg.AllocWorkers
 	// Elect the coordinator. Membership is fixed for the federation's
 	// lifetime, so the election runs once at assembly; rebuilding with a
 	// different Sites list (or Topology) re-elects.
@@ -909,23 +928,35 @@ func (f *Federation) allocEpoch() {
 		f.missedAllocEpochs++
 		return
 	}
-	sites := make([]allocation.SiteDemand, len(f.Sites))
+	// Check a snapshot buffer out of the pool; its nested Functions slices
+	// are reused across epochs, so a steady-state epoch's upload copies the
+	// demand reports without allocating. (Demands() returns a view of
+	// controller scratch, so the copy below is also what keeps the report
+	// valid until the gather leg delivers it.)
+	var sites []allocation.SiteDemand
+	if n := len(f.snapFree); n > 0 {
+		sites = f.snapFree[n-1]
+		f.snapFree = f.snapFree[:n-1]
+	}
+	if cap(sites) < len(f.Sites) {
+		sites = make([]allocation.SiteDemand, len(f.Sites))
+	}
+	sites = sites[:len(f.Sites)]
 	var gather time.Duration
 	for i, s := range f.Sites {
 		var w float64 = 1
 		if i < len(f.cfg.SiteWeights) && f.cfg.SiteWeights[i] > 0 {
 			w = f.cfg.SiteWeights[i]
 		}
-		ds := s.Platform.Controller.Demands()
-		fns := make([]allocation.FunctionDemand, len(ds))
-		for j, d := range ds {
-			fns[j] = allocation.FunctionDemand{
+		fns := sites[i].Functions[:0]
+		for _, d := range s.Platform.Controller.Demands() {
+			fns = append(fns, allocation.FunctionDemand{
 				Name:       d.Name,
 				User:       d.User,
 				Weight:     d.Weight,
 				UserWeight: d.UserWeight,
 				DesiredCPU: d.DesiredCPU,
-			}
+			})
 		}
 		sites[i] = allocation.SiteDemand{
 			Site:        s.Name,
@@ -952,6 +983,10 @@ func (f *Federation) allocEpoch() {
 // grants actually land, so deliveries still in flight when the run ends
 // are not reported as delivered.
 func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Duration) {
+	// The snapshot buffer is consumed synchronously below (the incremental
+	// allocator copies what it needs into its own caches), so it returns
+	// to the pool whichever way this delivery ends.
+	defer func() { f.snapFree = append(f.snapFree, sites) }()
 	if f.allocErr != nil {
 		return
 	}
@@ -959,7 +994,7 @@ func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Dur
 		f.missedAllocEpochs++
 		return
 	}
-	res, err := allocation.Allocate(sites, true)
+	res, err := f.alloc.Allocate(sites, true)
 	if err != nil {
 		f.allocErr = err
 		return
@@ -967,9 +1002,27 @@ func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Dur
 	f.allocEpochs++
 	f.strandedSum += float64(res.StrandedCPU)
 	f.driftSum += float64(res.DriftCPU)
+	// One pass over the grant list builds every site's delivery map —
+	// res.SiteGrants per site would rescan the whole list S times. The
+	// maps outlive res (they ride the return-leg events), so they are
+	// fresh per epoch; the site controllers copy them on receipt.
+	bySite := make(map[string]map[string]int64, len(f.Sites))
+	for _, g := range res.Grants {
+		m := bySite[g.Site]
+		if m == nil {
+			m = make(map[string]int64, 8)
+			bySite[g.Site] = m
+		}
+		m[g.Function] = g.GrantedCPU
+	}
 	lease := f.cfg.GrantLease // negative = unleased (freeze on stale)
 	for i, s := range f.Sites {
-		grants := res.SiteGrants(s.Name)
+		grants := bySite[s.Name]
+		if grants == nil {
+			// A site with no registered functions still receives an empty
+			// grant set — nil would mean "return to local allocation".
+			grants = map[string]int64{}
+		}
 		back := f.rtt(f.coordinator, i)
 		delay := gather + back
 		site, ctl := s, s.Platform.Controller

@@ -25,6 +25,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrUnstable is returned when a queueing system has utilization >= 1 and
@@ -81,10 +83,61 @@ func logSumExp(xs []float64) float64 {
 	return max + math.Log(sum)
 }
 
-// logFactorial returns log(n!) via the log-gamma function.
+// logFactCache is the growing shared cache of log(n!) values. The published
+// table is immutable (readers index it lock-free through the atomic
+// pointer); growth happens under the mutex by copying into a fresh slice,
+// so each log(n!) is computed by math.Lgamma exactly once, ever. Every
+// sizing epoch used to recompute these from scratch — O(c²) Lgamma calls
+// per Algorithm 1 scan — which dominated the control plane at metro scale.
+var logFactCache struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[[]float64]
+}
+
+// logFactorials returns an immutable table t covering 0..n (len(t) > n)
+// with t[k] = log(k!). Cached values are bit-identical to the direct
+// math.Lgamma computation they replace: each entry is produced by the same
+// single call the uncached form made, just once instead of every epoch.
+// Callers on hot paths hoist the returned slice out of their probe loops.
+func logFactorials(n int) []float64 {
+	if tab := logFactCache.tab.Load(); tab != nil && n < len(*tab) {
+		return *tab
+	}
+	return growLogFactorials(n)
+}
+
+// growLogFactorials extends the cache to cover n and returns the new table.
+func growLogFactorials(n int) []float64 {
+	logFactCache.mu.Lock()
+	defer logFactCache.mu.Unlock()
+	var cur []float64
+	if tab := logFactCache.tab.Load(); tab != nil {
+		cur = *tab
+		if n < len(cur) {
+			return cur
+		}
+	}
+	size := 2 * len(cur)
+	if size < 128 {
+		size = 128
+	}
+	if size < n+1 {
+		size = n + 1
+	}
+	next := make([]float64, size)
+	copy(next, cur)
+	for k := len(cur); k < size; k++ {
+		lg, _ := math.Lgamma(float64(k) + 1)
+		next[k] = lg
+	}
+	logFactCache.tab.Store(&next)
+	return next
+}
+
+// logFactorial returns log(n!) via the log-gamma function, served from the
+// shared cache.
 func logFactorial(n int) float64 {
-	lg, _ := math.Lgamma(float64(n) + 1)
-	return lg
+	return logFactorials(n)[n]
 }
 
 // logP0 returns log of the empty-system probability P0 (Eq 2):
@@ -107,14 +160,15 @@ func (m MMC) logP0() (float64, error) {
 	}
 	logr := math.Log(r)
 	rho := m.Rho()
-	tail := float64(m.C)*logr - logFactorial(m.C) - math.Log(1-rho)
+	lf := logFactorials(m.C) // hoisted: one cache load for the whole scan
+	tail := float64(m.C)*logr - lf[m.C] - math.Log(1-rho)
 	// Stream the log-sum-exp over the C+1 terms without materializing a
 	// slice. The terms are regenerated in the same order the slice held
 	// them (n = 0..C-1, then the tail), so the floating-point result is
 	// bit-identical to the materialized form.
 	max := math.Inf(-1)
 	for n := 0; n < m.C; n++ {
-		if x := float64(n)*logr - logFactorial(n); x > max {
+		if x := float64(n)*logr - lf[n]; x > max {
 			max = x
 		}
 	}
@@ -126,7 +180,7 @@ func (m MMC) logP0() (float64, error) {
 	}
 	var sum float64
 	for n := 0; n < m.C; n++ {
-		sum += math.Exp(float64(n)*logr - logFactorial(n) - max)
+		sum += math.Exp(float64(n)*logr - lf[n] - max)
 	}
 	sum += math.Exp(tail - max)
 	return -(max + math.Log(sum)), nil
@@ -232,12 +286,34 @@ func (m MMC) ProbWaitLE(t float64) (float64, error) {
 	if L < 0 {
 		return 0, nil
 	}
+	// The probe loops below inline logPn with every t- and n-independent
+	// quantity hoisted out of the loop: log(r), log(c), log(c!), and the
+	// shared log-factorial table are each computed once per call instead of
+	// once per probe. Hoisting changes where the values are computed, not
+	// what they are, so every term — and the streamed log-sum-exp over them
+	// — is bit-identical to the unhoisted per-probe form (the regression
+	// test compares against a frozen unhoisted copy term by term).
+	r := m.Lambda / m.Mu
+	if r == 0 {
+		return 1, nil // lp0 = 0 and only the n=0 term is finite
+	}
+	logr := math.Log(r)
+	logc := math.Log(float64(m.C))
+	lf := logFactorials(m.C)
+	lfc := lf[m.C]
+	logPn := func(n int) float64 {
+		if n <= m.C {
+			return float64(n)*logr - lf[n] + lp0
+		}
+		// r^n / (c^(n-c) c!) — Eq 1 second branch.
+		return float64(n)*logr - float64(n-m.C)*logc - lfc + lp0
+	}
 	// Streamed log-sum-exp over logPn(0..L): logPn is pure, so the second
 	// pass regenerates exactly the values a slice would have held, in the
 	// same order — bit-identical, allocation-free at any L.
 	max := math.Inf(-1)
 	for n := 0; n <= L; n++ {
-		if x := m.logPn(n, lp0); x > max {
+		if x := logPn(n); x > max {
 			max = x
 		}
 	}
@@ -246,7 +322,7 @@ func (m MMC) ProbWaitLE(t float64) (float64, error) {
 	}
 	var sum float64
 	for n := 0; n <= L; n++ {
-		sum += math.Exp(m.logPn(n, lp0) - max)
+		sum += math.Exp(logPn(n) - max)
 	}
 	p := math.Exp(max + math.Log(sum))
 	if p > 1 {

@@ -106,7 +106,84 @@ func RequiredContainers(lambda, mu float64, slo SLO, startC int) (int, error) {
 // of the current allocation. The controller uses it to compute c_new each
 // epoch: unlike Algorithm 1's upward-only scan it also allows scaling down.
 func MinimalContainers(lambda, mu float64, slo SLO) (int, error) {
-	return RequiredContainers(lambda, mu, slo, 0)
+	return MinimalContainersFrom(lambda, mu, slo, 0)
+}
+
+// MinimalContainersFrom returns exactly MinimalContainers' answer, seeding
+// the c-scan at hint — a previous epoch's result for the same function.
+// P(Q ≤ t) is nondecreasing in c for fixed λ, μ, t (more containers both
+// drain the queue faster and raise the Eq 3 state bound L), so the set of
+// SLO-satisfying counts is upward-closed and the minimal element found by
+// scanning down from a satisfying hint — or up from an unsatisfying one —
+// is the same count the cold scan from the stability floor finds. Each
+// candidate's ProbWaitLE evaluation is independent of the scan path, so
+// the result is bit-identical by construction; the warm-sizer tests assert
+// the equivalence under adversarial demand swings. When successive epochs'
+// rates drift slowly the scan touches O(1) candidates instead of the cold
+// scan's O(c), which is what makes metro-scale control epochs cheap.
+//
+// A hint ≤ 0 (or below the stability floor) degenerates to the cold scan.
+func MinimalContainersFrom(lambda, mu float64, slo SLO, hint int) (int, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, fmt.Errorf("queuing: invalid rates lambda=%v mu=%v", lambda, mu)
+	}
+	if lambda == 0 {
+		return 0, nil
+	}
+	t, err := slo.WaitBudget(mu)
+	if err != nil {
+		return 0, err
+	}
+	// Stability floor: c must exceed λ/μ.
+	floor := int(math.Floor(lambda/mu)) + 1
+	meets := func(c int) (bool, error) {
+		m := MMC{Lambda: lambda, Mu: mu, C: c}
+		if !m.Stable() {
+			return false, nil
+		}
+		p, err := m.ProbWaitLE(t)
+		if err != nil {
+			return false, err
+		}
+		return p >= slo.Percentile, nil
+	}
+	c := floor
+	if hint > c {
+		c = hint
+	}
+	if c > MaxSolverContainers {
+		c = MaxSolverContainers
+	}
+	ok, err := meets(c)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		// Seeded at (or above) a satisfying count: walk down to the
+		// minimal one.
+		for c > floor {
+			ok, err := meets(c - 1)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			c--
+		}
+		return c, nil
+	}
+	for c++; c <= MaxSolverContainers; c++ {
+		ok, err := meets(c)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("queuing: no container count up to %d meets SLO (lambda=%v mu=%v t=%vs p=%v)",
+		MaxSolverContainers, lambda, mu, t, slo.Percentile)
 }
 
 // RequiredContainersNaive runs the same Algorithm 1 scan on the naive
@@ -146,6 +223,20 @@ func RequiredContainersNaive(lambda, mu float64, slo SLO, startC int) (int, erro
 // how many standard containers must be added so that the Alves worst-case
 // bound on P(Q ≤ t) reaches the SLO percentile. existing may be empty.
 func AdditionalHetContainers(lambda float64, existing []float64, newRate float64, slo SLO) (int, error) {
+	return AdditionalHetContainersFrom(lambda, existing, newRate, slo, 0)
+}
+
+// AdditionalHetContainersFrom returns exactly AdditionalHetContainers'
+// answer, seeding the additional-container scan at hint (a previous
+// epoch's result). Adding a standard container only ever raises the Alves
+// bound on P(Q ≤ t) — the pool's aggregate rate grows and the worst-case
+// scheduler's options improve — so the satisfying additions are
+// upward-closed and the warm scan (down from a satisfying hint, up from an
+// unsatisfying one) lands on the same minimal count the cold scan from
+// zero finds. Each candidate pool's evaluation is independent of the scan
+// path, so the result is bit-identical by construction (asserted by the
+// warm-sizer swing tests). A hint ≤ 0 degenerates to the cold scan.
+func AdditionalHetContainersFrom(lambda float64, existing []float64, newRate float64, slo SLO, hint int) (int, error) {
 	if lambda < 0 || newRate <= 0 {
 		return 0, fmt.Errorf("queuing: invalid rates lambda=%v newRate=%v", lambda, newRate)
 	}
@@ -159,27 +250,70 @@ func AdditionalHetContainers(lambda float64, existing []float64, newRate float64
 	if err != nil {
 		return 0, err
 	}
-	rates := append([]float64(nil), existing...)
-	for add := 0; ; add++ {
-		if len(rates) > 0 {
-			h, err := NewHetMMC(lambda, rates)
+	if hint < 0 {
+		hint = 0
+	}
+	if max := MaxSolverContainers - len(existing); hint > max {
+		hint = max
+		if hint < 0 {
+			hint = 0
+		}
+	}
+	rates := make([]float64, 0, len(existing)+hint+1)
+	rates = append(rates, existing...)
+	for i := 0; i < hint; i++ {
+		rates = append(rates, newRate)
+	}
+	// meets evaluates the pool of existing plus add standard containers,
+	// exactly as one cold-scan iteration would.
+	meets := func(add int) (bool, error) {
+		if len(existing)+add == 0 {
+			return false, nil
+		}
+		h, err := NewHetMMC(lambda, rates[:len(existing)+add])
+		if err != nil {
+			return false, err
+		}
+		if !h.Stable() {
+			return false, nil
+		}
+		p, err := h.ProbWaitLE(t)
+		if err != nil {
+			return false, err
+		}
+		return p >= slo.Percentile, nil
+	}
+	add := hint
+	ok, err := meets(add)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		for add > 0 {
+			ok, err := meets(add - 1)
 			if err != nil {
 				return 0, err
 			}
-			if h.Stable() {
-				p, err := h.ProbWaitLE(t)
-				if err != nil {
-					return 0, err
-				}
-				if p >= slo.Percentile {
-					return add, nil
-				}
+			if !ok {
+				break
 			}
+			add--
 		}
-		if len(rates) >= MaxSolverContainers {
+		return add, nil
+	}
+	for {
+		if len(existing)+add >= MaxSolverContainers {
 			return 0, fmt.Errorf("queuing: heterogeneous scan exhausted (lambda=%v)", lambda)
 		}
+		add++
 		rates = append(rates, newRate)
+		ok, err := meets(add)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return add, nil
+		}
 	}
 }
 

@@ -291,6 +291,15 @@ func TestFederationBaselineColumns(t *testing.T) {
 	for _, s := range scenarios {
 		t.Errorf("BENCH_federation.json baseline missing coordinator scenario %q — regenerate it with -fed-bench", s)
 	}
+	// Same for the nested control-plane sub-table: a baseline regenerated
+	// before the control-bench existed (or with it stripped) fails here.
+	controls, err := experiments.MissingControlScenarios(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range controls {
+		t.Errorf("BENCH_federation.json baseline missing control-bench scenario %q — regenerate it with -fed-bench", s)
+	}
 }
 
 // slowPeerPlacer is the README's example custom policy: offload overload
