@@ -154,6 +154,13 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	if len(controls) > 0 {
 		b.Fatalf("BENCH_federation.json baseline is missing control-bench scenarios %v; regenerate with %s", controls, regen)
 	}
+	chaos, err := experiments.MissingChaosScenarios(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(chaos) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing chaos-sweep scenarios %v; regenerate with %s", chaos, regen)
+	}
 }
 
 // BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
@@ -232,6 +239,30 @@ func BenchmarkFederationCoordinator(b *testing.B) {
 		b.ReportMetric(cut, "centroid-delay-cut-frac")
 	} else {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkFederationChaos runs the chaos sweep — coordinator election x
+// grant-lease across seeded Gilbert-Elliott failure replicates, with the
+// leased-beats-frozen mean-violation assertion enforced inside the
+// harness — and reports the fractional mean-violation cut leased grants
+// achieve over frozen grants under centroid election.
+func BenchmarkFederationChaos(b *testing.B) {
+	b.ReportAllocs()
+	tab := runExperiment(b, "federation-chaos")
+	rate := func(coordinator, grants string) (float64, bool) {
+		for _, row := range tab.Rows {
+			if len(row) >= 4 && row[0] == coordinator && row[1] == grants {
+				v, err := strconv.ParseFloat(row[3], 64)
+				return v, err == nil
+			}
+		}
+		return 0, false
+	}
+	leased, ok1 := rate("centroid", "leased")
+	frozen, ok2 := rate("centroid", "frozen")
+	if ok1 && ok2 && frozen > 0 {
+		b.ReportMetric((frozen-leased)/frozen, "leased-violation-cut-frac")
 	}
 }
 

@@ -15,6 +15,9 @@
 //	lass-sim -federation -fed-fairshare                    # local-vs-global allocation sweep
 //	lass-sim -federation -fed-placers                      # every registered placement policy
 //	lass-sim -federation -fed-coordinator                  # coordinator election/outage/lease sweep
+//	lass-sim -federation -fed-chaos -chaos-replicates 8    # election x lease across seeded failures
+//	lass-sim -federation -scenario scenarios/metro-flaps.yaml  # one declarative scenario file
+//	lass-sim -federation -scenario all                     # every committed scenarios/*.yaml
 //	lass-sim -federation -policy grant-aware               # one placement policy only
 //	lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 //	lass-sim -federation -sweep-workers 8                  # parallel sweep, identical output
@@ -34,9 +37,14 @@
 // instead; -fed-placers sweeps every registered policy on the skewed
 // traces with global fair share, admission, and a throttled cloud all on;
 // -fed-coordinator sweeps coordinator election (fixed vs RTT-centroid),
-// outage windows, and grant leases on an asymmetric star; -fed-bench runs
-// the offload-policy and coordinator sweeps back to back — the source of
-// the committed BENCH_federation.json baseline;
+// outage windows, and grant leases on an asymmetric star; -fed-chaos
+// sweeps election x grant-lease across -chaos-replicates seeded failure
+// realizations (base seed -chaos-seed) of one chaos distribution,
+// reporting mean/p95 violations and missed epochs per variant; -scenario
+// runs a declarative scenario file (fleet + topology + workload + chaos
+// + assertions; "all" runs every committed scenarios/*.yaml); -fed-bench
+// runs the offload-policy and coordinator sweeps back to back — the
+// source of the committed BENCH_federation.json baseline;
 // -global-fairshare / -alloc-epoch / -coordinator run any sweep under the
 // global allocator (fixed or centroid-elected coordinator placement);
 // -admission turns on offload-aware §3.4 admission control;
@@ -92,7 +100,11 @@ func main() {
 		fedFair    = flag.Bool("fed-fairshare", false, "with -federation: sweep local vs global allocation on the skewed-load scenario instead")
 		fedPlace   = flag.Bool("fed-placers", false, "with -federation: sweep every registered placement policy on the skewed-trace scenario (global fair share + admission + throttled cloud)")
 		fedCoord   = flag.Bool("fed-coordinator", false, "with -federation: sweep coordinator election, outages, and grant leases on the asymmetric-star scenario")
+		fedChaos   = flag.Bool("fed-chaos", false, "with -federation: sweep election x grant-lease across seeded chaos replicates (GE coordinator flicker + partial partition)")
 		fedBench   = flag.Bool("fed-bench", false, "with -federation: run the bench baseline (offload-policy sweep + coordinator sweep, the BENCH_federation.json source)")
+		scenarioF  = flag.String("scenario", "", "with -federation: run the named declarative scenario file instead of a sweep (\"all\" = every committed scenarios/*.yaml)")
+		chaosSeed  = flag.Int64("chaos-seed", 0, "with -federation -fed-chaos or -scenario: base chaos seed, replicate r draws seed+r (0 = derived/authored seed)")
+		chaosReps  = flag.Int("chaos-replicates", 0, "with -federation -fed-chaos or -scenario: seeded failure replicates per variant or scenario (0 = default: 8 chaos, 1 scenario)")
 		globalFS   = flag.Bool("global-fairshare", false, "with -federation: run the sweep under the federation-wide fair-share allocator")
 		allocEpoch = flag.Duration("alloc-epoch", 0, "with -federation -global-fairshare: global allocation epoch (0 = default 5s)")
 		coord      = flag.String("coordinator", "", "with -federation -global-fairshare: coordinator election (fixed|centroid; default fixed at site 0)")
@@ -137,7 +149,8 @@ func main() {
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
 	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "fed-placers": true,
-		"fed-coordinator": true, "fed-bench": true,
+		"fed-coordinator": true, "fed-chaos": true, "fed-bench": true,
+		"scenario": true, "chaos-seed": true, "chaos-replicates": true,
 		"topology":   true,
 		"cloud-warm": true, "cloud-always-warm": true, "cloud-price-invocation": true,
 		"cloud-price-gbsec": true, "global-fairshare": true, "alloc-epoch": true,
@@ -176,15 +189,16 @@ func main() {
 		}
 		id := "federation"
 		tracePath := ""
+		scenarioPath := *scenarioF
 		modes := 0
-		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace, *fedCoord, *fedBench} {
+		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace, *fedCoord, *fedChaos, *fedBench, scenarioPath != ""} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fail(fmt.Errorf("-fed-trace, -fed-fairshare, -fed-placers, -fed-coordinator and -fed-bench are mutually exclusive"))
+			fail(fmt.Errorf("-fed-trace, -fed-fairshare, -fed-placers, -fed-coordinator, -fed-chaos, -fed-bench and -scenario are mutually exclusive"))
 		case *fedTrace:
 			id = "federation-trace"
 			tracePath = *trace
@@ -194,8 +208,15 @@ func main() {
 			id = "federation-placers"
 		case *fedCoord:
 			id = "federation-coordinator"
+		case *fedChaos:
+			id = "federation-chaos"
 		case *fedBench:
 			id = "federation-bench"
+		case scenarioPath != "":
+			id = "scenario"
+			if scenarioPath == "all" {
+				scenarioPath = "" // the experiment runs the committed suite
+			}
 		}
 		runFederation(id, experiments.Options{
 			Seed:         *seed,
@@ -218,6 +239,9 @@ func main() {
 				PeerSelection:           *peerSel,
 				CloudMaxConcurrency:     *cloudConc,
 				AllocWorkers:            *allocWork,
+				ScenarioPath:            scenarioPath,
+				ChaosSeed:               *chaosSeed,
+				ChaosReplicates:         *chaosReps,
 			},
 		}, *out, *jsonOut)
 		return

@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosPackagesAreDetrandClean pins the chaos subsystem's headline
+// guarantee — failure realizations are a pure function of the declared
+// seed — at the static level: the detrand analyzer must find zero
+// wall-clock or ambient-randomness sites in internal/chaos and
+// internal/scenario, tests included and with no //lass:wallclock
+// sanctions in play. TestModuleIsClean covers the same files as part of
+// the whole-module gate; this test keeps the chaos guarantee from being
+// quietly weakened by a future sanctioned-site annotation there.
+func TestChaosPackagesAreDetrandClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages via go list; skipped in -short")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	root := filepath.Dir(gomod)
+	ds, err := Run(root, []string{"./internal/chaos/...", "./internal/scenario/..."},
+		true, []Analyzer{Detrand{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		t.Errorf("chaos subsystem must stay detrand-clean: %s", d.String())
+	}
+	// A sanctioned wall-clock site in these packages would silently pass
+	// the analyzer; grep the sources so the sanction itself is flagged.
+	for _, dir := range []string{"internal/chaos", "internal/scenario"} {
+		g, err := exec.Command("grep", "-rn", "lass:wallclock", filepath.Join(root, dir)).Output()
+		if err == nil && len(g) > 0 {
+			t.Errorf("%s carries a //lass:wallclock sanction; the chaos subsystem must not need one:\n%s", dir, g)
+		}
+	}
+}

@@ -45,3 +45,21 @@ func deterministicUses() time.Duration {
 	at := time.Date(2021, time.June, 21, 0, 0, 0, 0, time.UTC)
 	return d + time.Duration(at.Unix())
 }
+
+// geSamplerViolations mimics a chaos-engine Gilbert-Elliott holding-time
+// sampler written the wrong way — wall-clock seeding and ambient draws
+// would make failure realizations irreproducible, the exact bug
+// internal/chaos exists to rule out (its draws flow through the config's
+// seeded, forked xrand streams; TestChaosPackagesAreDetrandClean pins
+// that). Constructors, method calls on an ambient rand.Rand, and the
+// exponential holding-time draw must all be flagged.
+func geSamplerViolations() time.Duration {
+	seed := time.Now().UnixNano() // want `time\.Now reads the wall clock`
+	src := rand.NewSource(seed)   // want `math/rand\.NewSource is ambient randomness`
+	r := rand.New(src)            // want `math/rand\.New is ambient randomness`
+	if r.Intn(2) == 0 {           // want `math/rand\.Intn is ambient randomness`
+		hold := rand.ExpFloat64() // want `math/rand\.ExpFloat64 is ambient randomness`
+		return time.Duration(hold * float64(time.Second))
+	}
+	return 0
+}

@@ -32,6 +32,11 @@ type Table struct {
 	// sub-table (epochs/sec and allocs/epoch, cold vs warm sizing and
 	// allocation) the fed-bench baseline carries. Omitted when nil.
 	Control *Table `json:",omitempty"`
+	// Chaos, when present, is the nested chaos-sweep sub-table (mean/p95
+	// violations and missed epochs per election x grant-lease variant
+	// across seeded failure replicates) the fed-bench baseline carries.
+	// Omitted when nil.
+	Chaos *Table `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -151,6 +156,17 @@ type FedOptions struct {
 	// byte-identical at any worker count; only coordinator wall-clock
 	// changes.
 	AllocWorkers int
+	// ScenarioPath names a declarative scenario file for the scenario
+	// experiment; empty runs every committed scenarios/*.yaml.
+	ScenarioPath string
+	// ChaosSeed, when positive, overrides the base chaos seed of the
+	// chaos and scenario sweeps (replicate r draws seed ChaosSeed+r);
+	// <= 0 keeps the derived (chaos sweep) or authored (scenario) seed.
+	ChaosSeed int64
+	// ChaosReplicates is how many seeded failure realizations each chaos
+	// sweep variant (or scenario) runs; 0 keeps the per-experiment
+	// default (8 for federation-chaos, 1 for scenario).
+	ChaosReplicates int
 }
 
 // dur picks between the full (paper) and quick durations.

@@ -232,6 +232,9 @@ type baselineTable struct {
 	// baselines predating it; MissingControlScenarios treats that as
 	// fully stale).
 	Control *baselineTable
+	// Chaos is the nested chaos-sweep sub-table (nil in baselines
+	// predating it; MissingChaosScenarios treats that as fully stale).
+	Chaos *baselineTable
 }
 
 func parseBaseline(baselineJSON []byte) (*baselineTable, error) {

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"lass/internal/chaos"
+	"lass/internal/federation"
+	"lass/internal/scenario"
+)
+
+// chaosVariant is one column family of the chaos sweep: a coordinator
+// election mode crossed with a grant-lease mode, run over every chaos
+// replicate.
+type chaosVariant struct {
+	coordinator string // "fixed" | "centroid"
+	grants      string // "leased" | "frozen"
+	election    federation.CoordinatorElection
+	lease       time.Duration // 0 = default 2x epoch, negative = frozen
+}
+
+var chaosVariants = []chaosVariant{
+	{coordinator: "fixed", grants: "leased", election: federation.Fixed},
+	{coordinator: "fixed", grants: "frozen", election: federation.Fixed, lease: -1},
+	{coordinator: "centroid", grants: "leased", election: federation.RTTCentroid},
+	{coordinator: "centroid", grants: "frozen", election: federation.RTTCentroid, lease: -1},
+}
+
+// chaosScenarios are the variant rows the chaos sweep reports
+// ("coordinator/grants"), in order — what MissingChaosScenarios keys on.
+var chaosScenarios = []string{"fixed/leased", "fixed/frozen",
+	"centroid/leased", "centroid/frozen"}
+
+// chaosDefaultReplicates is how many seeded failure realizations each
+// variant runs when opt.Fed.ChaosReplicates is unset. Eight is the floor
+// the leased-beats-frozen mean assertion is calibrated for.
+const chaosDefaultReplicates = 8
+
+// chaosSweepFaults is the failure distribution every replicate draws its
+// realization from: a Gilbert-Elliott coordinator outage process (mean
+// 1.5 units up, 2.5 units down — long multi-epoch control-plane outages,
+// so frozen grants stay bound to stale sizes across demand shifts while
+// leased grants expire and fall back to local enforcement) plus a GE
+// partial partition on the hot-site spoke (site 0 <-> the hub), which
+// exercises asymmetric lease expiry, partitioned epochs, and dropped
+// grants without silencing the rest of the fleet.
+func chaosSweepFaults(nsites, hub int, seed uint64, unit time.Duration) (*chaos.Engine, error) {
+	return chaos.New(chaos.Config{
+		Sites: nsites,
+		Seed:  seed,
+		Faults: []chaos.Fault{
+			{Kind: chaos.FaultCoordinator,
+				GE: &chaos.GilbertElliott{MeanUp: 3 * unit / 2, MeanDown: 5 * unit / 2}},
+			{Kind: chaos.FaultLink, From: 0, To: hub, Bidirectional: true,
+				GE: &chaos.GilbertElliott{MeanUp: 4 * unit, MeanDown: unit / 2}},
+		},
+	})
+}
+
+// chaosSweepHeader is the chaos sub-table's shape; the coordinator and
+// grants columns are what MissingChaosScenarios keys on.
+var chaosSweepHeader = []string{"coordinator", "grants", "replicates",
+	"mean-viol", "p95-viol", "mean-missed", "p95-missed",
+	"mean-part-epochs", "mean-grants-lost", "mean-lease-exp", "mean-viol-rate"}
+
+func meanU64(xs []uint64) float64 {
+	var sum uint64
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// p95U64 is the nearest-rank 95th percentile of a small sample.
+func p95U64(xs []uint64) uint64 {
+	s := append([]uint64(nil), xs...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := (95*len(s) + 99) / 100 // ceil(0.95 n)
+	return s[rank-1]
+}
+
+func meanF64(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// FederationChaos sweeps coordinator election (fixed vs RTT-centroid)
+// crossed with grant leasing (leased vs frozen) across N seeded failure
+// realizations of one chaos distribution — a Gilbert-Elliott coordinator
+// flicker plus a GE partial partition cutting the hot site off the hub —
+// on the asymmetric-star burst scenario. Replicates are paired: replicate
+// r of every variant draws the identical chaos seed, and only the chaos
+// seed varies between replicates (the workload stays pinned to opt.Seed),
+// so the sweep compares policies across failure realizations rather than
+// across workloads. The experiment reports mean and p95 (nearest-rank) of
+// SLO violations and missed allocation epochs per variant and
+// hard-asserts the tentpole claim distributionally: for each election
+// mode, leased grants beat frozen grants on mean violations across the
+// replicate set, and no frozen run records a single lease expiration.
+func FederationChaos(opt Options) (*Table, error) {
+	reps := opt.Fed.ChaosReplicates
+	if reps <= 0 {
+		reps = chaosDefaultReplicates
+	}
+	baseSeed := uint64(opt.Fed.ChaosSeed)
+	if opt.Fed.ChaosSeed <= 0 {
+		baseSeed = opt.Seed ^ 0xc4a05
+	}
+	t := &Table{
+		ID:     "federation-chaos",
+		Title:  "Chaos sweep: election x grant-lease across seeded failure realizations (asymmetric star)",
+		Header: append([]string(nil), chaosSweepHeader...),
+	}
+	unit := opt.dur(time.Minute, 10*time.Second)
+	topo, hub, err := coordinatorTopology()
+	if err != nil {
+		return nil, err
+	}
+	// Every (variant, replicate) pair is an independent cell; results land
+	// by index and rows are emitted afterwards in variant order, so the
+	// table is byte-identical at any -sweep-workers count.
+	results := make([]*federation.Result, len(chaosVariants)*reps)
+	err = forEachCell(len(results), opt.SweepWorkers, func(i int) error {
+		v := chaosVariants[i/reps]
+		r := i % reps
+		sites, end, err := coordinatorSites(opt, unit)
+		if err != nil {
+			return err
+		}
+		o := opt
+		o.Fed.GlobalFairShare = true
+		o.Fed.Admission = true
+		if o.Fed.CloudMaxConcurrency == 0 {
+			o.Fed.CloudMaxConcurrency = 2
+		}
+		policy := o.Fed.Policy
+		if policy == "" {
+			policy = "model-driven"
+		}
+		placer, err := federation.ParsePlacer(policy)
+		if err != nil {
+			return err
+		}
+		fcfg, err := federationConfig(o, sites, placer)
+		if err != nil {
+			return err
+		}
+		fcfg.Topology = topo
+		fcfg.CoordinatorElection = v.election
+		fcfg.GrantLease = v.lease
+		fcfg.Faults, err = chaosSweepFaults(len(sites), hub, baseSeed+uint64(r), unit)
+		if err != nil {
+			return err
+		}
+		fed, err := federation.New(fcfg)
+		if err != nil {
+			return err
+		}
+		res, err := fed.Run(end)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	meanViol := make(map[string]float64, len(chaosVariants))
+	for vi, v := range chaosVariants {
+		viol := make([]uint64, reps)
+		missed := make([]uint64, reps)
+		var part, lost, leaseExp []uint64
+		var rates []float64
+		for r := 0; r < reps; r++ {
+			res := results[vi*reps+r]
+			viol[r] = totalViolations(res)
+			missed[r] = res.MissedAllocEpochs
+			part = append(part, res.PartitionedEpochs)
+			lost = append(lost, res.GrantsLost)
+			leaseExp = append(leaseExp, res.GrantLeaseExpirations)
+			var violated, total uint64
+			for _, s := range res.Sites {
+				violated += s.Violations()
+				total += s.SLO.Total() + s.Unresolved
+			}
+			rates = append(rates, violationRate(violated, total))
+		}
+		label := v.coordinator + "/" + v.grants
+		meanViol[label] = meanU64(viol)
+		t.AddRow(v.coordinator, v.grants,
+			fmt.Sprintf("%d", reps),
+			fmt.Sprintf("%.1f", meanU64(viol)),
+			fmt.Sprintf("%d", p95U64(viol)),
+			fmt.Sprintf("%.1f", meanU64(missed)),
+			fmt.Sprintf("%d", p95U64(missed)),
+			fmt.Sprintf("%.1f", meanU64(part)),
+			fmt.Sprintf("%.1f", meanU64(lost)),
+			fmt.Sprintf("%.1f", meanU64(leaseExp)),
+			fmt.Sprintf("%.4f", meanF64(rates)))
+		if v.grants == "frozen" {
+			for r, e := range leaseExp {
+				if e != 0 {
+					return nil, fmt.Errorf("experiments: frozen-grants %s replicate %d recorded %d lease expirations; want 0",
+						v.coordinator, r, e)
+				}
+			}
+		}
+	}
+	for _, coord := range []string{"fixed", "centroid"} {
+		leased, frozen := meanViol[coord+"/leased"], meanViol[coord+"/frozen"]
+		if leased >= frozen {
+			return nil, fmt.Errorf("experiments: %s election: leased grants did not beat frozen on mean violations across %d replicates: %.1f (leased) vs %.1f (frozen)",
+				coord, reps, leased, frozen)
+		}
+	}
+	t.AddNote("fault distribution: GE coordinator outages (mean up 1.5u, down 2.5u) + GE partial partition site 0 <-> hub (mean up 4u, down u/2), u=%v", unit)
+	t.AddNote("replicates are paired: replicate r of every variant draws chaos seed %d+r; the workload stays pinned to seed %d", baseSeed, opt.Seed)
+	t.AddNote("asserted: for each election mode, mean violations leased < frozen across %d replicates; frozen runs record zero lease expirations", reps)
+	return t, nil
+}
+
+// MissingChaosScenarios compares a committed sweep-baseline JSON against
+// the variant rows the federation-chaos sweep produces and returns the
+// ones the baseline's nested Chaos table lacks — the staleness signal
+// that BENCH_federation.json was regenerated without the chaos sub-table.
+// Baselines predating the Chaos field report every variant missing.
+func MissingChaosScenarios(baselineJSON []byte) ([]string, error) {
+	baseline, err := parseBaseline(baselineJSON)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.Chaos == nil {
+		return append([]string(nil), chaosScenarios...), nil
+	}
+	col := columnIndex(baseline.Chaos.Header)
+	for _, name := range []string{"coordinator", "grants"} {
+		if _, ok := col[name]; !ok {
+			return append([]string(nil), chaosScenarios...), nil
+		}
+	}
+	have := map[string]bool{}
+	for _, row := range baseline.Chaos.Rows {
+		if len(row) > col["coordinator"] && len(row) > col["grants"] {
+			have[row[col["coordinator"]]+"/"+row[col["grants"]]] = true
+		}
+	}
+	var missing []string
+	for _, s := range chaosScenarios {
+		if !have[s] {
+			missing = append(missing, s)
+		}
+	}
+	return missing, nil
+}
+
+// scenarioRunHeader is the scenario experiment's shape: one row per
+// (scenario file, replicate).
+var scenarioRunHeader = []string{"scenario", "replicate", "chaos-seed",
+	"violations", "viol-rate", "missed-epochs", "part-epochs",
+	"grants-lost", "lease-exp", "assertions"}
+
+// ScenarioRun loads declarative scenario files and runs each one:
+// opt.Fed.ScenarioPath names a single file, or — when empty — every
+// scenarios/*.yaml under the working directory runs (the committed suite).
+// opt.Fed.ChaosReplicates > 1 re-runs each scenario with chaos seeds
+// base, base+1, ... (base = the file's chaos.seed, or opt.Fed.ChaosSeed
+// when non-zero) while the workload stays pinned — the seed/replication
+// semantics documented in README. A replicate whose chaos seed is the
+// file's own authored seed must pass the file's assertions or the
+// experiment fails; re-seeded replicates report pass/fail per row without
+// failing the run, since assertions are authored against one realization.
+func ScenarioRun(opt Options) (*Table, error) {
+	var paths []string
+	if opt.Fed.ScenarioPath != "" {
+		paths = []string{opt.Fed.ScenarioPath}
+	} else {
+		var err error
+		paths, err = filepath.Glob(filepath.Join("scenarios", "*.yaml"))
+		if err != nil {
+			return nil, err
+		}
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("experiments: no scenario files under scenarios/ (run from the repository root, or pass -scenario <file>)")
+		}
+	}
+	reps := opt.Fed.ChaosReplicates
+	if reps <= 0 {
+		reps = 1
+	}
+	scs := make([]*scenario.Scenario, len(paths))
+	for i, p := range paths {
+		sc, err := scenario.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		scs[i] = sc
+	}
+	t := &Table{
+		ID:     "scenario",
+		Title:  "Declarative scenario runs",
+		Header: append([]string(nil), scenarioRunHeader...),
+	}
+	type cellOut struct {
+		seed     int64
+		res      *federation.Result
+		checkErr error
+	}
+	cells := make([]cellOut, len(scs)*reps)
+	err := forEachCell(len(cells), opt.SweepWorkers, func(i int) error {
+		sc := scs[i/reps]
+		r := i % reps
+		base := int64(sc.Chaos.Seed)
+		if opt.Fed.ChaosSeed > 0 {
+			base = opt.Fed.ChaosSeed
+		}
+		seed := base + int64(r)
+		cfg, err := sc.Build(seed)
+		if err != nil {
+			return err
+		}
+		fed, err := federation.New(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := fed.Run(sc.Duration)
+		if err != nil {
+			return err
+		}
+		cells[i] = cellOut{seed: seed, res: res, checkErr: sc.Check(res)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sc := range scs {
+		for r := 0; r < reps; r++ {
+			c := cells[si*reps+r]
+			var violated, total uint64
+			for _, s := range c.res.Sites {
+				violated += s.Violations()
+				total += s.SLO.Total() + s.Unresolved
+			}
+			verdict := "ok"
+			if c.checkErr != nil {
+				verdict = "FAIL: " + c.checkErr.Error()
+			}
+			t.AddRow(sc.Name,
+				fmt.Sprintf("%d", r),
+				fmt.Sprintf("%d", c.seed),
+				fmt.Sprintf("%d", violated),
+				fmt.Sprintf("%.4f", violationRate(violated, total)),
+				fmt.Sprintf("%d", c.res.MissedAllocEpochs),
+				fmt.Sprintf("%d", c.res.PartitionedEpochs),
+				fmt.Sprintf("%d", c.res.GrantsLost),
+				fmt.Sprintf("%d", c.res.GrantLeaseExpirations),
+				verdict)
+			if c.checkErr != nil && c.seed == int64(sc.Chaos.Seed) {
+				return nil, fmt.Errorf("experiments: scenario %s (authored chaos seed %d): %w",
+					sc.Name, c.seed, c.checkErr)
+			}
+		}
+	}
+	t.AddNote("replicates re-run the same pinned workload under chaos seeds base..base+n-1; only the authored-seed replicate must pass its assertions")
+	return t, nil
+}

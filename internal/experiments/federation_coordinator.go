@@ -200,7 +200,8 @@ func FederationCoordinator(opt Options) (*Table, error) {
 // scenario, engine row, and control-plane row the CI guards
 // (MissingBaselineColumns, MissingBaselinePolicies,
 // MissingCoordinatorScenarios, MissingEngineScenarios,
-// MissingControlScenarios) check for. Regenerate with
+// MissingControlScenarios, MissingChaosScenarios) check for. Regenerate
+// with
 //
 //	go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 func FederationBench(opt Options) (*Table, error) {
@@ -220,12 +221,17 @@ func FederationBench(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	chaosTab, err := FederationChaos(opt)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		ID:      "federation-bench",
 		Title:   "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
 		Header:  append([]string(nil), federationSweepHeader...),
 		Engine:  eng,
 		Control: ctrl,
+		Chaos:   chaosTab,
 	}
 	for _, src := range []*Table{fed, coord} {
 		t.Rows = append(t.Rows, src.Rows...)

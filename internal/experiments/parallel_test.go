@@ -34,6 +34,7 @@ func TestParallelSweepOutputIsByteIdentical(t *testing.T) {
 		"federation-fairshare",
 		"federation-placers",
 		"federation-coordinator",
+		"federation-chaos",
 	} {
 		t.Run(id, func(t *testing.T) {
 			run := func(workers int) []byte {

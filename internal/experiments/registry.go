@@ -25,7 +25,9 @@ var Registry = map[string]Runner{
 	"federation-fairshare":   FederationFairShare,
 	"federation-placers":     FederationPlacers,
 	"federation-coordinator": FederationCoordinator,
+	"federation-chaos":       FederationChaos,
 	"federation-bench":       FederationBench,
+	"scenario":               ScenarioRun,
 	"engine-bench":           EngineBench,
 	"control-bench":          ControlPlaneBench,
 	"openwhisk":              OpenWhisk,

@@ -67,6 +67,7 @@ import (
 	"time"
 
 	"lass/internal/allocation"
+	"lass/internal/chaos"
 	"lass/internal/core"
 	"lass/internal/dispatch"
 	"lass/internal/metrics"
@@ -204,13 +205,78 @@ func ParseCoordinatorElection(s string) (CoordinatorElection, error) {
 }
 
 // Window is a half-open interval [Start, End) of simulated time; the
-// federation uses windows to schedule coordinator outages.
-type Window struct {
-	Start, End time.Duration
+// federation uses windows to schedule coordinator outages. It is the
+// chaos package's window type, so static schedules move freely between
+// Config.CoordinatorOutages and chaos fault declarations.
+type Window = chaos.Window
+
+// FaultView is the point-in-time failure oracle the federation consults:
+// the chaos engine (internal/chaos) implements it, and Config.Faults
+// accepts any implementation. The epoch loop asks CoordinatorDown (plus
+// SiteDown for the coordinator's host) before gathering demand and again
+// at the compute moment; the demand-upload and grant-return legs each
+// check the corresponding directed link; and the dispatch path treats a
+// dark link as an unreachable peer — excluded from placement outright,
+// not modelled as extra latency. Queries arrive in nondecreasing
+// simulated time.
+type FaultView interface {
+	// CoordinatorDown reports whether the coordinator role is dark at t
+	// (the global allocator is silenced; no site's data plane is touched).
+	CoordinatorDown(at time.Duration) bool
+	// SiteDown reports whether the site is network-dark at t: every link
+	// to and from it — peers, coordinator, and cloud uplink — is down,
+	// while local ingress keeps being served from local capacity.
+	SiteDown(site int, at time.Duration) bool
+	// LinkDown reports whether the directed link from→to is dark at t.
+	LinkDown(from, to int, at time.Duration) bool
 }
 
-// Contains reports whether t falls inside the window.
-func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
+// UnionFaults folds fault views into one that reports dark whenever any
+// constituent does; nils are skipped.
+func UnionFaults(views ...FaultView) FaultView {
+	merged := make(faultUnion, 0, len(views))
+	for _, v := range views {
+		if v != nil {
+			merged = append(merged, v)
+		}
+	}
+	switch len(merged) {
+	case 0:
+		return nil
+	case 1:
+		return merged[0]
+	}
+	return merged
+}
+
+type faultUnion []FaultView
+
+func (u faultUnion) CoordinatorDown(at time.Duration) bool {
+	for _, v := range u {
+		if v.CoordinatorDown(at) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u faultUnion) SiteDown(site int, at time.Duration) bool {
+	for _, v := range u {
+		if v.SiteDown(site, at) {
+			return true
+		}
+	}
+	return false
+}
+
+func (u faultUnion) LinkDown(from, to int, at time.Duration) bool {
+	for _, v := range u {
+		if v.LinkDown(from, to, at) {
+			return true
+		}
+	}
+	return false
+}
 
 // Config describes a federated deployment.
 type Config struct {
@@ -307,6 +373,13 @@ type Config struct {
 	// keep enforcing their last grants until the grant lease lapses
 	// (GrantLease), then fall back to local enforcement.
 	CoordinatorOutages []Window
+	// Faults, when set, is the failure oracle for the run — typically a
+	// chaos.Engine built from seeded Gilbert-Elliott site/link processes
+	// (see internal/chaos). It composes with CoordinatorOutages: the
+	// legacy windows become one static coordinator-role process unioned
+	// with this view. Nil means fault-free (every link always up), the
+	// historical behaviour bit-for-bit.
+	Faults FaultView
 	// GrantLease is how long a delivered grant set stays valid without
 	// renewal before the site's controller falls back to local enforcement
 	// (default 2×AllocEpoch; negative = no lease, the freeze-on-stale
@@ -413,6 +486,14 @@ type Site struct {
 	// local enforcement, typically because the coordinator went dark.
 	GrantLeaseExpirations uint64
 
+	// PartitionedEpochs counts allocation epochs this site sat out because
+	// its uplink to the coordinator was dark at the boundary (the demand
+	// upload never left); GrantsLost counts grant sets the coordinator
+	// computed for this site that never landed because the return leg was
+	// dark. Both are zero in fault-free runs.
+	PartitionedEpochs uint64
+	GrantsLost        uint64
+
 	peers       []*Site // other sites, ascending RTT, ties by index
 	observeDone func(*dispatch.Request)
 }
@@ -446,11 +527,14 @@ type Federation struct {
 	// change reuse their previous feasibility clamps (steady-state epochs
 	// allocate nothing at all inside the allocator).
 	alloc *allocation.Allocator
+	// faults is the run's failure oracle (Config.Faults unioned with the
+	// legacy CoordinatorOutages process); nil means fault-free.
+	faults FaultView
 	// snapFree pools the demand-snapshot buffers allocEpoch uploads to the
 	// coordinator. A snapshot stays checked out while its gather leg is in
 	// flight — gathers can overlap the next epoch boundary on slow
 	// topologies — and returns to the pool after allocDeliver consumes it.
-	snapFree [][]allocation.SiteDemand
+	snapFree []*demandSnapshot
 
 	// ctxScratch backs the PlacementContext handed to the placer on every
 	// ingress decision. The engine is single-threaded and Place must not
@@ -485,11 +569,8 @@ func New(cfg Config) (*Federation, error) {
 	default:
 		return nil, fmt.Errorf("federation: unknown coordinator election %d", int(cfg.CoordinatorElection))
 	}
-	for i, w := range cfg.CoordinatorOutages {
-		if w.Start < 0 || w.End <= w.Start {
-			return nil, fmt.Errorf("federation: coordinator outage %d [%v, %v) is not a forward window",
-				i, w.Start, w.End)
-		}
+	if err := chaos.ValidateWindows(cfg.CoordinatorOutages); err != nil {
+		return nil, fmt.Errorf("federation: coordinator outages: %w", err)
 	}
 	if len(cfg.SiteWeights) > len(cfg.Sites) {
 		return nil, fmt.Errorf("federation: %d site weights for %d sites",
@@ -522,6 +603,24 @@ func New(cfg Config) (*Federation, error) {
 		alloc:      allocation.NewAllocator(),
 	}
 	f.alloc.Workers = cfg.AllocWorkers
+	// Assemble the failure oracle: the legacy static outage windows become
+	// one coordinator-role chaos process, unioned with any configured
+	// fault view. Replaying the same windows through the chaos layer is
+	// bit-for-bit the historical CoordinatorOutages behaviour (the golden
+	// regression in chaos_test.go holds it to that).
+	f.faults = cfg.Faults
+	if len(cfg.CoordinatorOutages) > 0 {
+		outages, err := chaos.New(chaos.Config{
+			Sites: len(cfg.Sites),
+			Faults: []chaos.Fault{
+				{Kind: chaos.FaultCoordinator, Windows: cfg.CoordinatorOutages},
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("federation: coordinator outages: %w", err)
+		}
+		f.faults = UnionFaults(f.faults, outages)
+	}
 	// Elect the coordinator. Membership is fixed for the federation's
 	// lifetime, so the election runs once at assembly; rebuilding with a
 	// different Sites list (or Topology) re-elects.
@@ -571,14 +670,33 @@ func (f *Federation) rtt(i, j int) time.Duration {
 // round-trip centroid under RTTCentroid.
 func (f *Federation) Coordinator() int { return f.coordinator }
 
-// inOutage reports whether the coordinator is dark at time t.
-func (f *Federation) inOutage(t time.Duration) bool {
-	for _, w := range f.cfg.CoordinatorOutages {
-		if w.Contains(t) {
-			return true
-		}
+// coordinatorDark reports whether the global allocator is silenced at t:
+// a coordinator-role fault holds, or the coordinator's host site is
+// network-dark (nobody can reach the seat).
+func (f *Federation) coordinatorDark(t time.Duration) bool {
+	if f.faults == nil {
+		return false
 	}
-	return false
+	return f.faults.CoordinatorDown(t) || f.faults.SiteDown(f.coordinator, t)
+}
+
+// linkUp reports whether a message can traverse the directed edge i→j at
+// t: both endpoints must be network-up and the link itself must not be
+// dark. A dark link makes the far side unreachable — the dispatch path
+// excludes the peer from placement entirely and the epoch loop drops the
+// corresponding demand upload or grant delivery — rather than modelling
+// it as extra latency.
+func (f *Federation) linkUp(i, j int, t time.Duration) bool {
+	if f.faults == nil || i == j {
+		return true
+	}
+	return !f.faults.SiteDown(i, t) && !f.faults.SiteDown(j, t) && !f.faults.LinkDown(i, j, t)
+}
+
+// siteDark reports whether site i is network-dark at t (all links down,
+// cloud uplink included; local service continues).
+func (f *Federation) siteDark(i int, t time.Duration) bool {
+	return f.faults != nil && f.faults.SiteDown(i, t)
 }
 
 // peersByRTT returns the other sites ordered by ascending RTT from s,
@@ -671,7 +789,17 @@ func (f *Federation) decide(s *Site, q *dispatch.Queue) Decision {
 			d = Local()
 		} else if _, ok := f.Sites[d.Site].Platform.Queues[q.Spec().Name]; !ok {
 			d = Local()
+		} else if !f.linkUp(s.Index, d.Site, f.Engine.Now()) {
+			// A dark link means the peer is unreachable, not merely slow:
+			// the request cannot be shipped, whatever the policy thinks.
+			d = Local()
 		}
+	}
+	if d.Kind == OffloadCloud && f.siteDark(s.Index, f.Engine.Now()) {
+		// A network-dark site has no cloud uplink either; the request
+		// stays (and, if sheddable, is rejected below like any other
+		// unplaceable overload).
+		d = Local()
 	}
 	if ctx.sheddable {
 		switch d.Kind {
@@ -743,6 +871,16 @@ func (f *Federation) accepts(p *Site, fn string) bool {
 	return f.cfg.GlobalFairShare && q.IdleContainers() > 0
 }
 
+// acceptsFrom is accepts gated by reachability: a peer behind a dark
+// link (or either endpoint network-dark) can absorb nothing from this
+// origin right now, whatever its headroom says.
+func (f *Federation) acceptsFrom(origin, p *Site, fn string) bool {
+	if !f.linkUp(origin.Index, p.Index, f.Engine.Now()) {
+		return false
+	}
+	return f.accepts(p, fn)
+}
+
 // selectPeer picks the peer that should absorb shed fn work from site s,
 // or nil when none accepts. NearestFirst scans peers in ascending-RTT
 // order; PowerOfTwoChoices samples two distinct candidates and keeps the
@@ -760,16 +898,16 @@ func (f *Federation) selectPeer(s *Site, fn string) *Site {
 			(b.Platform.Controller.Headroom() == a.Platform.Controller.Headroom() && j < i) {
 			a, b = b, a
 		}
-		if f.accepts(a, fn) {
+		if f.acceptsFrom(s, a, fn) {
 			return a
 		}
-		if f.accepts(b, fn) {
+		if f.acceptsFrom(s, b, fn) {
 			return b
 		}
 		return nil
 	}
 	for _, p := range s.peers {
-		if f.accepts(p, fn) {
+		if f.acceptsFrom(s, p, fn) {
 			return p
 		}
 	}
@@ -910,6 +1048,16 @@ func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch
 	})
 }
 
+// demandSnapshot is one epoch's pooled demand upload: the compacted
+// per-site reports that actually reached the coordinator, and the site
+// index behind each slot (under a partial partition the two differ —
+// cut-off sites drop out of the tree but the survivors keep their
+// identities for the return leg).
+type demandSnapshot struct {
+	sites []allocation.SiteDemand
+	idx   []int
+}
+
 // allocEpoch starts one federation-wide fair-share epoch. Timing is
 // honest end to end: each site snapshots its demand report at the epoch
 // boundary and uploads it, the coordinator can only compute once the
@@ -919,12 +1067,17 @@ func (f *Federation) offloadToCloud(origin *Site, q *dispatch.Queue, r *dispatch
 // compute moment, one gather later — falls inside a CoordinatorOutages
 // window produces no grants at all and is counted in
 // Result.MissedAllocEpochs — sites coast on their leased grants until the
-// lease lapses, then fall back to local enforcement.
+// lease lapses, then fall back to local enforcement. Under a FaultView
+// the partition can also be partial: a site whose uplink to the
+// coordinator is dark at the boundary simply drops out of this epoch's
+// allocation tree (counted in PartitionedEpochs) while its peers are
+// governed normally — the asymmetric-lease-expiry case.
 func (f *Federation) allocEpoch() {
 	if f.allocErr != nil {
 		return
 	}
-	if f.inOutage(f.Engine.Now()) {
+	now := f.Engine.Now()
+	if f.coordinatorDark(now) {
 		f.missedAllocEpochs++
 		return
 	}
@@ -933,22 +1086,33 @@ func (f *Federation) allocEpoch() {
 	// demand reports without allocating. (Demands() returns a view of
 	// controller scratch, so the copy below is also what keeps the report
 	// valid until the gather leg delivers it.)
-	var sites []allocation.SiteDemand
+	var snap *demandSnapshot
 	if n := len(f.snapFree); n > 0 {
-		sites = f.snapFree[n-1]
+		snap = f.snapFree[n-1]
 		f.snapFree = f.snapFree[:n-1]
+	} else {
+		snap = &demandSnapshot{}
 	}
-	if cap(sites) < len(f.Sites) {
-		sites = make([]allocation.SiteDemand, len(f.Sites))
+	if cap(snap.sites) < len(f.Sites) {
+		snap.sites = make([]allocation.SiteDemand, len(f.Sites))
 	}
-	sites = sites[:len(f.Sites)]
+	snap.sites = snap.sites[:len(f.Sites)]
+	snap.idx = snap.idx[:0]
+	count := 0
 	var gather time.Duration
 	for i, s := range f.Sites {
+		if !f.linkUp(i, f.coordinator, now) {
+			// The demand upload cannot leave the site: it sits out this
+			// epoch (no grant will come back either — the coordinator has
+			// nothing to compute for it) and its lease keeps ticking.
+			s.PartitionedEpochs++
+			continue
+		}
 		var w float64 = 1
 		if i < len(f.cfg.SiteWeights) && f.cfg.SiteWeights[i] > 0 {
 			w = f.cfg.SiteWeights[i]
 		}
-		fns := sites[i].Functions[:0]
+		fns := snap.sites[count].Functions[:0]
 		for _, d := range s.Platform.Controller.Demands() {
 			fns = append(fns, allocation.FunctionDemand{
 				Name:       d.Name,
@@ -958,17 +1122,27 @@ func (f *Federation) allocEpoch() {
 				DesiredCPU: d.DesiredCPU,
 			})
 		}
-		sites[i] = allocation.SiteDemand{
+		snap.sites[count] = allocation.SiteDemand{
 			Site:        s.Name,
 			Weight:      w,
 			CapacityCPU: s.Platform.Controller.Capacity(),
 			Functions:   fns,
 		}
+		snap.idx = append(snap.idx, i)
+		count++
 		if up := f.rtt(i, f.coordinator); up > gather {
 			gather = up
 		}
 	}
-	f.Engine.After(gather, func() { f.allocDeliver(sites, gather) })
+	if count == 0 {
+		// Every uplink is dark: nothing reaches the seat, the epoch is
+		// missed outright.
+		f.missedAllocEpochs++
+		f.snapFree = append(f.snapFree, snap)
+		return
+	}
+	snap.sites = snap.sites[:count]
+	f.Engine.After(gather, func() { f.allocDeliver(snap, gather) })
 }
 
 // allocDeliver runs the allocation at the coordinator — one demand-gather
@@ -982,19 +1156,20 @@ func (f *Federation) allocEpoch() {
 // delay (gather + return) for Result.MeanGrantDelay — counted when the
 // grants actually land, so deliveries still in flight when the run ends
 // are not reported as delivered.
-func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Duration) {
+func (f *Federation) allocDeliver(snap *demandSnapshot, gather time.Duration) {
 	// The snapshot buffer is consumed synchronously below (the incremental
 	// allocator copies what it needs into its own caches), so it returns
 	// to the pool whichever way this delivery ends.
-	defer func() { f.snapFree = append(f.snapFree, sites) }()
+	defer func() { f.snapFree = append(f.snapFree, snap) }()
 	if f.allocErr != nil {
 		return
 	}
-	if f.inOutage(f.Engine.Now()) {
+	now := f.Engine.Now()
+	if f.coordinatorDark(now) {
 		f.missedAllocEpochs++
 		return
 	}
-	res, err := f.alloc.Allocate(sites, true)
+	res, err := f.alloc.Allocate(snap.sites, true)
 	if err != nil {
 		f.allocErr = err
 		return
@@ -1016,7 +1191,16 @@ func (f *Federation) allocDeliver(sites []allocation.SiteDemand, gather time.Dur
 		m[g.Function] = g.GrantedCPU
 	}
 	lease := f.cfg.GrantLease // negative = unleased (freeze on stale)
-	for i, s := range f.Sites {
+	for _, i := range snap.idx {
+		s := f.Sites[i]
+		if !f.linkUp(f.coordinator, i, now) {
+			// The return leg went dark while the demand was in flight: the
+			// grant set is computed but never lands, so the site's previous
+			// lease keeps ticking toward expiry while its peers renew —
+			// leases expire asymmetrically under partial partitions.
+			s.GrantsLost++
+			continue
+		}
 		grants := bySite[s.Name]
 		if grants == nil {
 			// A site with no registered functions still receives an empty
@@ -1076,6 +1260,12 @@ type SiteResult struct {
 	// GrantLeaseExpirations counts grant leases that lapsed at this site
 	// without renewal (fallbacks to local enforcement).
 	GrantLeaseExpirations uint64
+
+	// PartitionedEpochs counts allocation epochs this site sat out behind
+	// a dark uplink; GrantsLost counts computed grant sets that never
+	// landed because the return leg was dark.
+	PartitionedEpochs uint64
+	GrantsLost        uint64
 
 	// Unresolved counts ingress requests that never completed before the
 	// run ended — still queued, in service, in the network, or killed by
@@ -1142,6 +1332,11 @@ type Result struct {
 	MissedAllocEpochs     uint64
 	GrantLeaseExpirations uint64
 	MeanGrantDelay        time.Duration
+	// PartitionedEpochs and GrantsLost aggregate the per-site partial
+	// partition counters: epochs a site sat out behind a dark uplink, and
+	// computed grant sets dropped on a dark return leg.
+	PartitionedEpochs uint64
+	GrantsLost        uint64
 }
 
 // Run drives all sites on the shared engine for the given simulated
@@ -1205,6 +1400,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 			CloudQueued:           s.CloudQueued,
 			CloudCost:             s.CloudCost,
 			GrantLeaseExpirations: s.GrantLeaseExpirations,
+			PartitionedEpochs:     s.PartitionedEpochs,
+			GrantsLost:            s.GrantsLost,
 			Unresolved:            unresolved,
 		})
 		res.CloudColdStarts += s.CloudColdStarts
@@ -1213,6 +1410,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 		res.CloudCost += s.CloudCost
 		res.Rejected += s.Rejected
 		res.GrantLeaseExpirations += s.GrantLeaseExpirations
+		res.PartitionedEpochs += s.PartitionedEpochs
+		res.GrantsLost += s.GrantsLost
 	}
 	return res, nil
 }

@@ -151,14 +151,28 @@ func (ctx *PlacementContext) Overloaded(site int) bool {
 }
 
 // Accepts reports whether the site would absorb offloaded work for this
-// function right now: it serves the function, is not overloaded, and
-// either its controller reports spare capacity or — under the global
-// allocator — it holds pre-provisioned (spread-granted) idle containers.
+// function right now: it is reachable from the origin (no chaos fault
+// darkens the link or either endpoint), serves the function, is not
+// overloaded, and either its controller reports spare capacity or —
+// under the global allocator — it holds pre-provisioned (spread-granted)
+// idle containers.
 func (ctx *PlacementContext) Accepts(site int) bool {
 	if site < 0 || site >= len(ctx.f.Sites) {
 		return false
 	}
-	return ctx.f.accepts(ctx.f.Sites[site], ctx.Function())
+	return ctx.f.acceptsFrom(ctx.origin, ctx.f.Sites[site], ctx.Function())
+}
+
+// Reachable reports whether the origin can currently reach the site: no
+// chaos fault darkens the directed origin→site link or either endpoint's
+// network. Always true for the origin itself, and in fault-free runs.
+// Unreachability is binary — placement must exclude the peer, not price
+// it in as extra RTT.
+func (ctx *PlacementContext) Reachable(site int) bool {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return false
+	}
+	return ctx.f.linkUp(ctx.origin.Index, site, ctx.f.Engine.Now())
 }
 
 // SelectPeer runs the configured peer-selection strategy
@@ -199,13 +213,17 @@ func (ctx *PlacementContext) RTT(i, j int) time.Duration {
 // serving this request at the given site: current backlog drained at the
 // pool's aggregate service rate, plus one mean service time, plus — for a
 // peer — both network legs from the origin. +Inf when the site cannot
-// serve the function.
+// serve the function or is unreachable behind a dark link (an
+// unreachable peer has no finite response time, however idle it is).
 func (ctx *PlacementContext) PredictResponse(site int) float64 {
 	if site < 0 || site >= len(ctx.f.Sites) {
 		return math.Inf(1)
 	}
 	var extra time.Duration
 	if site != ctx.origin.Index {
+		if !ctx.Reachable(site) {
+			return math.Inf(1)
+		}
 		extra = ctx.f.rtt(ctx.origin.Index, site) + ctx.f.rtt(site, ctx.origin.Index)
 	}
 	return ctx.f.predictResponse(ctx.f.Sites[site], ctx.Function(), extra)

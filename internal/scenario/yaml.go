@@ -1,0 +1,387 @@
+// yaml.go is a deliberately small YAML-subset parser — the module is
+// stdlib-only, so scenario files cannot pull in a YAML dependency. The
+// subset covers what declarative scenarios need and nothing else:
+//
+//   - block mappings (`key: value` / `key:` + indented block)
+//   - block lists (`- item`, including `- key: value` starting a map)
+//   - flow lists `[a, b]` and flow maps `{k: v}`, nesting allowed
+//   - `#` comments, blank lines, single- or double-quoted scalars
+//
+// Indentation is spaces only (a tab is an error), anchors/aliases,
+// multi-line block scalars, and multi-document streams are rejected by
+// construction. Every node carries its source line for loader errors.
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	listNode
+)
+
+func (k nodeKind) String() string {
+	switch k {
+	case scalarNode:
+		return "scalar"
+	case mapNode:
+		return "mapping"
+	case listNode:
+		return "list"
+	}
+	return "unknown"
+}
+
+// node is one parsed YAML value. Mappings keep their keys in file order
+// (keys slice) so decoding and error reporting are deterministic.
+type node struct {
+	kind     nodeKind
+	scalar   string
+	keys     []string
+	children map[string]*node
+	items    []*node
+	line     int
+}
+
+func (n *node) child(key string) *node { return n.children[key] }
+
+// srcLine is one logical input line after comment stripping.
+type srcLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+// stripComment removes a trailing `#` comment, respecting quotes.
+func stripComment(s string) string {
+	quote := byte(0)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+func splitLines(data []byte) ([]srcLine, error) {
+	var out []srcLine
+	for num, raw := range strings.Split(string(data), "\n") {
+		line := stripComment(raw)
+		trimmed := strings.TrimRight(line, " \r")
+		indent := 0
+		for indent < len(trimmed) && trimmed[indent] == ' ' {
+			indent++
+		}
+		body := trimmed[indent:]
+		if body == "" {
+			continue
+		}
+		if strings.HasPrefix(body, "\t") || strings.Contains(trimmed[:indent], "\t") {
+			return nil, fmt.Errorf("line %d: tab in indentation (use spaces)", num+1)
+		}
+		out = append(out, srcLine{indent: indent, text: body, num: num + 1})
+	}
+	return out, nil
+}
+
+// parse parses one YAML-subset document into its root node.
+func parse(data []byte) (*node, error) {
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	p := &parser{lines: lines}
+	root, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+	}
+	return root, nil
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+func (p *parser) peek() (srcLine, bool) {
+	if p.pos >= len(p.lines) {
+		return srcLine{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses the run of lines at exactly the given indent as one
+// value: a list if they start with "-", a mapping if they look like
+// "key:", a bare scalar otherwise.
+func (p *parser) parseBlock(indent int) (*node, error) {
+	l, ok := p.peek()
+	if !ok || l.indent < indent {
+		return nil, fmt.Errorf("line %d: expected a value", p.lastNum())
+	}
+	if l.indent > indent {
+		return nil, fmt.Errorf("line %d: unexpected indentation", l.num)
+	}
+	if isListItem(l.text) {
+		return p.parseList(indent)
+	}
+	if keyOf(l.text) != "" {
+		return p.parseMap(indent)
+	}
+	// Inline value on its own line: a flow list/map or a bare scalar.
+	p.pos++
+	return parseValue(l.text, l.num)
+}
+
+func (p *parser) lastNum() int {
+	if len(p.lines) == 0 {
+		return 0
+	}
+	if p.pos >= len(p.lines) {
+		return p.lines[len(p.lines)-1].num
+	}
+	return p.lines[p.pos].num
+}
+
+func isListItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// colonIndex returns the position of the `key: value` separator — the
+// first depth-0, unquoted colon followed by a space or end of line — or
+// -1 when the line is not a `key:` form.
+func colonIndex(text string) int {
+	quote := byte(0)
+	depth := 0
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0:
+			if i+1 == len(text) || text[i+1] == ' ' {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// keyOf returns the mapping key a line introduces, or "" when the line
+// is not a `key:` form.
+func keyOf(text string) string {
+	i := colonIndex(text)
+	if i < 0 {
+		return ""
+	}
+	return strings.TrimSpace(unquote(strings.TrimSpace(text[:i])))
+}
+
+func (p *parser) parseList(indent int) (*node, error) {
+	first, _ := p.peek()
+	n := &node{kind: listNode, line: first.num}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || !isListItem(l.text) {
+			break
+		}
+		body := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if body == "" {
+			// `-` alone: the item is the following deeper block.
+			p.pos++
+			next, ok := p.peek()
+			if !ok || next.indent <= indent {
+				return nil, fmt.Errorf("line %d: empty list item", l.num)
+			}
+			item, err := p.parseBlock(next.indent)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		// `- content`: content behaves as if it started a block at the
+		// column it appears in — splice it back as a synthetic line.
+		itemIndent := l.indent + (len(l.text) - len(body))
+		p.lines[p.pos] = srcLine{indent: itemIndent, text: body, num: l.num}
+		item, err := p.parseBlock(itemIndent)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+func (p *parser) parseMap(indent int) (*node, error) {
+	first, _ := p.peek()
+	n := &node{kind: mapNode, children: map[string]*node{}, line: first.num}
+	for {
+		l, ok := p.peek()
+		if !ok || l.indent != indent || isListItem(l.text) {
+			break
+		}
+		key := keyOf(l.text)
+		if key == "" {
+			return nil, fmt.Errorf("line %d: expected 'key: value', got %q", l.num, l.text)
+		}
+		if _, dup := n.children[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate key %q", l.num, key)
+		}
+		rest := strings.TrimSpace(l.text[colonIndex(l.text)+1:])
+		p.pos++
+		var child *node
+		if rest != "" {
+			v, err := parseValue(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+			child = v
+		} else {
+			next, ok := p.peek()
+			if ok && (next.indent > indent || (next.indent == indent && isListItem(next.text))) {
+				blockIndent := next.indent
+				v, err := p.parseBlock(blockIndent)
+				if err != nil {
+					return nil, err
+				}
+				child = v
+			} else {
+				// Bare `key:` with nothing under it: empty scalar.
+				child = &node{kind: scalarNode, line: l.num}
+			}
+		}
+		n.keys = append(n.keys, key)
+		n.children[key] = child
+	}
+	return n, nil
+}
+
+// parseValue parses an inline value: flow list, flow map, or scalar.
+func parseValue(s string, line int) (*node, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "[") || strings.HasPrefix(s, "{") {
+		v, rest, err := parseFlow(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("line %d: trailing content %q after flow value", line, rest)
+		}
+		return v, nil
+	}
+	if strings.HasPrefix(s, "|") || strings.HasPrefix(s, ">") || strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") {
+		return nil, fmt.Errorf("line %d: unsupported YAML feature %q (this subset has no block scalars or anchors)", line, s[:1])
+	}
+	return &node{kind: scalarNode, scalar: unquote(s), line: line}, nil
+}
+
+// parseFlow parses one flow value ([...], {...}, or a scalar up to a
+// flow delimiter) and returns the unconsumed remainder.
+func parseFlow(s string, line int) (*node, string, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case strings.HasPrefix(s, "["):
+		n := &node{kind: listNode, line: line}
+		rest := strings.TrimSpace(s[1:])
+		if strings.HasPrefix(rest, "]") {
+			return n, rest[1:], nil
+		}
+		for {
+			item, r, err := parseFlow(rest, line)
+			if err != nil {
+				return nil, "", err
+			}
+			n.items = append(n.items, item)
+			r = strings.TrimSpace(r)
+			if strings.HasPrefix(r, ",") {
+				rest = strings.TrimSpace(r[1:])
+				continue
+			}
+			if strings.HasPrefix(r, "]") {
+				return n, r[1:], nil
+			}
+			return nil, "", fmt.Errorf("line %d: unterminated flow list", line)
+		}
+	case strings.HasPrefix(s, "{"):
+		n := &node{kind: mapNode, children: map[string]*node{}, line: line}
+		rest := strings.TrimSpace(s[1:])
+		if strings.HasPrefix(rest, "}") {
+			return n, rest[1:], nil
+		}
+		for {
+			colon := strings.Index(rest, ":")
+			if colon < 0 {
+				return nil, "", fmt.Errorf("line %d: flow map entry without ':'", line)
+			}
+			key := strings.TrimSpace(unquote(strings.TrimSpace(rest[:colon])))
+			if key == "" {
+				return nil, "", fmt.Errorf("line %d: empty flow map key", line)
+			}
+			if _, dup := n.children[key]; dup {
+				return nil, "", fmt.Errorf("line %d: duplicate key %q", line, key)
+			}
+			val, r, err := parseFlow(rest[colon+1:], line)
+			if err != nil {
+				return nil, "", err
+			}
+			n.keys = append(n.keys, key)
+			n.children[key] = val
+			r = strings.TrimSpace(r)
+			if strings.HasPrefix(r, ",") {
+				rest = strings.TrimSpace(r[1:])
+				continue
+			}
+			if strings.HasPrefix(r, "}") {
+				return n, r[1:], nil
+			}
+			return nil, "", fmt.Errorf("line %d: unterminated flow map", line)
+		}
+	default:
+		// Scalar up to the next flow delimiter at depth 0.
+		end := len(s)
+		for i := 0; i < len(s); i++ {
+			if s[i] == ',' || s[i] == ']' || s[i] == '}' {
+				end = i
+				break
+			}
+		}
+		return &node{kind: scalarNode, scalar: unquote(strings.TrimSpace(s[:end])), line: line}, s[end:], nil
+	}
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

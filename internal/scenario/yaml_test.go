@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *node {
+	t.Helper()
+	n, err := parse([]byte(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return n
+}
+
+func TestParseBlockMapping(t *testing.T) {
+	n := mustParse(t, `
+name: demo        # trailing comment
+seed: 42
+nested:
+  a: 1s
+  b: "quoted: value"
+`)
+	if n.kind != mapNode {
+		t.Fatalf("root is %v, want mapping", n.kind)
+	}
+	if got := n.child("name").scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := n.child("seed").scalar; got != "42" {
+		t.Errorf("seed = %q", got)
+	}
+	nested := n.child("nested")
+	if nested.kind != mapNode || nested.child("a").scalar != "1s" {
+		t.Fatalf("nested block mapping mis-parsed: %+v", nested)
+	}
+	if got := nested.child("b").scalar; got != "quoted: value" {
+		t.Errorf("quoted scalar = %q", got)
+	}
+	if want := []string{"name", "seed", "nested"}; strings.Join(n.keys, ",") != strings.Join(want, ",") {
+		t.Errorf("key order %v, want %v", n.keys, want)
+	}
+}
+
+func TestParseBlockList(t *testing.T) {
+	n := mustParse(t, `
+faults:
+  - kind: site
+    site: 1
+  - kind: link
+    from: 0
+    to: 2
+plain:
+  - one
+  - two
+`)
+	faults := n.child("faults")
+	if faults.kind != listNode || len(faults.items) != 2 {
+		t.Fatalf("faults mis-parsed: %+v", faults)
+	}
+	if faults.items[0].child("site").scalar != "1" || faults.items[1].child("to").scalar != "2" {
+		t.Errorf("list-item mappings mis-parsed: %+v %+v", faults.items[0], faults.items[1])
+	}
+	plain := n.child("plain")
+	if len(plain.items) != 2 || plain.items[1].scalar != "two" {
+		t.Errorf("scalar list mis-parsed: %+v", plain)
+	}
+}
+
+func TestParseFlowValues(t *testing.T) {
+	n := mustParse(t, `
+sites: [1, 2, 3]
+windows: [{start: 10s, end: 40s}, {start: 60s, end: 65s}]
+empty: []
+`)
+	sites := n.child("sites")
+	if len(sites.items) != 3 || sites.items[2].scalar != "3" {
+		t.Fatalf("flow list mis-parsed: %+v", sites)
+	}
+	ws := n.child("windows")
+	if len(ws.items) != 2 {
+		t.Fatalf("nested flow mis-parsed: %+v", ws)
+	}
+	if ws.items[0].child("start").scalar != "10s" || ws.items[1].child("end").scalar != "65s" {
+		t.Errorf("flow map values mis-parsed")
+	}
+	if len(n.child("empty").items) != 0 {
+		t.Errorf("empty flow list mis-parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "a:\n\tb: 1", "tab"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"unterminated flow", "a: [1, 2", "unterminated"},
+		{"anchor", "a: &x 1", "unsupported YAML feature"},
+		{"block scalar", "a: |", "unsupported YAML feature"},
+		{"empty", "  \n# only a comment\n", "empty document"},
+		{"bad nesting", "a: 1\n   b: 2", "unexpected indentation"},
+	}
+	for _, c := range cases {
+		_, err := parse([]byte(c.src))
+		if err == nil {
+			t.Errorf("%s: parsed", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	_, err := parse([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("duplicate-key error %v does not carry line 3", err)
+	}
+}

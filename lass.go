@@ -25,6 +25,11 @@
 //     centroid, OutageWindow schedules coordinator outages, and leased
 //     grants fall back to local enforcement when the coordinator goes
 //     dark.
+//   - seeded chaos engineering (NewChaosEngine, FederationConfig.Faults):
+//     Gilbert-Elliott coordinator/site/link faults, partial partitions
+//     with asymmetric lease expiry, and cascading failure groups — plus
+//     declarative scenario files (LoadScenario) bundling fleet, topology,
+//     workload, faults, and assertions into one runnable document.
 //
 // # Quick start
 //
@@ -46,12 +51,14 @@ import (
 	"time"
 
 	"lass/internal/allocation"
+	"lass/internal/chaos"
 	"lass/internal/cluster"
 	"lass/internal/controller"
 	"lass/internal/core"
 	"lass/internal/federation"
 	"lass/internal/functions"
 	"lass/internal/queuing"
+	"lass/internal/scenario"
 	"lass/internal/workload"
 )
 
@@ -322,6 +329,76 @@ const (
 // ("nearest", "p2c").
 func ParsePeerSelection(s string) (PeerSelection, error) {
 	return federation.ParsePeerSelection(s)
+}
+
+// ChaosConfig declares a chaos engine: the number of sites its fault
+// targets index into, the master seed every stochastic failure process
+// forks from, and the fault list. Same config, same realization —
+// failure schedules are a pure function of (Seed, fault declaration
+// order), independent of query order.
+type ChaosConfig = chaos.Config
+
+// ChaosFault is one failure declaration: a coordinator, site, link, or
+// cascading-group fault driven by static windows or a seeded
+// Gilbert-Elliott up/down process.
+type ChaosFault = chaos.Fault
+
+// ChaosFaultKind discriminates what a ChaosFault darkens.
+type ChaosFaultKind = chaos.FaultKind
+
+// Fault kinds.
+const (
+	// ChaosFaultCoordinator darkens the coordinator role (allocation
+	// epochs produce no grants) without touching any site's data plane.
+	ChaosFaultCoordinator = chaos.FaultCoordinator
+	// ChaosFaultSite darkens one site entirely: peers cannot reach it
+	// and it loses its own peer and cloud uplinks.
+	ChaosFaultSite = chaos.FaultSite
+	// ChaosFaultLink darkens one directed site-to-site link (set
+	// Bidirectional for both legs) — the partial-partition primitive.
+	ChaosFaultLink = chaos.FaultLink
+	// ChaosFaultGroup darkens a set of sites with a per-member cascade
+	// lag — correlated failures that ripple instead of landing at once.
+	ChaosFaultGroup = chaos.FaultGroup
+)
+
+// GilbertElliott parameterizes a two-state up/down failure process with
+// exponentially distributed holding times.
+type GilbertElliott = chaos.GilbertElliott
+
+// ChaosEngine realizes a ChaosConfig into queryable fault timelines; it
+// implements FaultView and plugs into FederationConfig.Faults.
+type ChaosEngine = chaos.Engine
+
+// NewChaosEngine validates the config and builds the seeded engine.
+func NewChaosEngine(cfg ChaosConfig) (*ChaosEngine, error) {
+	return chaos.New(cfg)
+}
+
+// FaultView is what the federation consults about failures: whether the
+// coordinator role, a site, or a directed link is dark at an instant.
+type FaultView = federation.FaultView
+
+// UnionFaults composes fault views; a target is dark when any view says
+// so. Nil views are skipped.
+func UnionFaults(views ...FaultView) FaultView {
+	return federation.UnionFaults(views...)
+}
+
+// Scenario is a declarative experiment file — fleet, topology, workload,
+// chaos faults, and result assertions — loadable from YAML-subset text
+// and buildable into a FederationConfig. See scenarios/ and the README's
+// "Chaos & scenario files" section.
+type Scenario = scenario.Scenario
+
+// LoadScenario reads and validates a scenario file.
+func LoadScenario(path string) (*Scenario, error) {
+	return scenario.Load(path)
+}
+
+// ParseScenario parses and validates scenario text.
+func ParseScenario(data []byte) (*Scenario, error) {
+	return scenario.Parse(data)
 }
 
 // GlobalSiteDemand is one edge site's demand report to the federation-wide

@@ -300,6 +300,15 @@ func TestFederationBaselineColumns(t *testing.T) {
 	for _, s := range controls {
 		t.Errorf("BENCH_federation.json baseline missing control-bench scenario %q — regenerate it with -fed-bench", s)
 	}
+	// And the nested chaos sub-table: every election x grant-lease variant
+	// of the seeded chaos sweep must have a row.
+	chaos, err := experiments.MissingChaosScenarios(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range chaos {
+		t.Errorf("BENCH_federation.json baseline missing chaos-sweep scenario %q — regenerate it with -fed-bench", s)
+	}
 }
 
 // slowPeerPlacer is the README's example custom policy: offload overload
