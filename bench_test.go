@@ -161,6 +161,13 @@ func checkBaselineColumns(b *testing.B, tab *experiments.Table) {
 	if len(chaos) > 0 {
 		b.Fatalf("BENCH_federation.json baseline is missing chaos-sweep scenarios %v; regenerate with %s", chaos, regen)
 	}
+	hier, err := experiments.MissingHierarchyScenarios(raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(hier) > 0 {
+		b.Fatalf("BENCH_federation.json baseline is missing hierarchy-sweep modes %v; regenerate with %s", hier, regen)
+	}
 }
 
 // BenchmarkFederationSweep runs the synthetic offload-policy sweep (the
@@ -544,6 +551,60 @@ func BenchmarkControlPlane(b *testing.B) {
 		b.ReportMetric(cold.EpochsPerSec(), "cold-epochs/sec")
 		b.ReportMetric(steady.EpochsPerSec(), "steady-epochs/sec")
 		b.ReportMetric(steady.AllocsPerEpoch(), "steady-allocs/epoch")
+	}
+}
+
+// BenchmarkHierarchicalAllocator runs all-dirty hierarchical allocation
+// epochs — quota-tree deserved cascade, metro-scoped spreading, and
+// cross-site reclaim all firing — on a 32-site, 4-metro fleet with
+// drifting demand, and guards the hierarchy refactor's floor: an epoch
+// whose inputs did not change must allocate exactly zero heap objects,
+// the same steady-state contract the flat allocator keeps. CI runs this
+// with -benchtime=1x as part of the perf smoke.
+func BenchmarkHierarchicalAllocator(b *testing.B) {
+	b.ReportAllocs()
+	const nsites, nmetros = 32, 4
+	h := &allocation.Hierarchy{Root: &allocation.Group{ID: "root"}}
+	for m := 0; m < nmetros; m++ {
+		h.Root.Children = append(h.Root.Children, &allocation.Group{ID: fmt.Sprintf("m%d", m)})
+	}
+	var sites []allocation.SiteDemand
+	for i := 0; i < nsites; i++ {
+		g := h.Root.Children[i%nmetros]
+		name := fmt.Sprintf("s%02d", i)
+		g.Sites = append(g.Sites, name)
+		sites = append(sites, allocation.SiteDemand{
+			Site: name, Weight: 1, CapacityCPU: int64(1000 + 100*(i%7)),
+			Functions: []allocation.FunctionDemand{
+				{Name: "auth", Weight: 2, DesiredCPU: int64(400 * (i % 5))},
+				{Name: "encode", Weight: 1, DesiredCPU: int64(300 * ((i + 2) % 4))},
+				{Name: "infer", Weight: 3, DesiredCPU: int64(250 * ((i + 1) % 6))},
+			},
+		})
+	}
+	a := allocation.NewAllocator()
+	if err := a.SetHierarchy(h, true); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := a.Allocate(sites, true); err != nil {
+		b.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := a.Allocate(sites, true); err != nil {
+			b.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		b.Fatalf("hierarchical steady-state epochs allocated %.1f times; the warm quota-tree path must stay at 0", allocs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Shift one site's demand every iteration so no epoch takes the
+		// unchanged fast path.
+		sites[i%nsites].Functions[0].DesiredCPU += int64(1 + i%3)
+		if _, err := a.Allocate(sites, true); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@
 //	lass-sim -federation -fed-placers                      # every registered placement policy
 //	lass-sim -federation -fed-coordinator                  # coordinator election/outage/lease sweep
 //	lass-sim -federation -fed-chaos -chaos-replicates 8    # election x lease across seeded failures
+//	lass-sim -federation -fed-hierarchy                    # flat vs borrow vs borrow+reclaim quota trees
 //	lass-sim -federation -scenario scenarios/metro-flaps.yaml  # one declarative scenario file
 //	lass-sim -federation -scenario all                     # every committed scenarios/*.yaml
 //	lass-sim -federation -policy grant-aware               # one placement policy only
@@ -40,7 +41,10 @@
 // outage windows, and grant leases on an asymmetric star; -fed-chaos
 // sweeps election x grant-lease across -chaos-replicates seeded failure
 // realizations (base seed -chaos-seed) of one chaos distribution,
-// reporting mean/p95 violations and missed epochs per variant; -scenario
+// reporting mean/p95 violations and missed epochs per variant;
+// -fed-hierarchy sweeps the global allocator's quota structure (flat vs
+// region→metro→site borrowing vs borrowing + cross-site reclaim) on the
+// starved/borrower/donor metro; -scenario
 // runs a declarative scenario file (fleet + topology + workload + chaos
 // + assertions; "all" runs every committed scenarios/*.yaml); -fed-bench
 // runs the offload-policy and coordinator sweeps back to back — the
@@ -101,6 +105,7 @@ func main() {
 		fedPlace   = flag.Bool("fed-placers", false, "with -federation: sweep every registered placement policy on the skewed-trace scenario (global fair share + admission + throttled cloud)")
 		fedCoord   = flag.Bool("fed-coordinator", false, "with -federation: sweep coordinator election, outages, and grant leases on the asymmetric-star scenario")
 		fedChaos   = flag.Bool("fed-chaos", false, "with -federation: sweep election x grant-lease across seeded chaos replicates (GE coordinator flicker + partial partition)")
+		fedHier    = flag.Bool("fed-hierarchy", false, "with -federation: sweep flat vs quota-tree borrowing vs borrowing + cross-site reclaim on the starved/borrower/donor metro")
 		fedBench   = flag.Bool("fed-bench", false, "with -federation: run the bench baseline (offload-policy sweep + coordinator sweep, the BENCH_federation.json source)")
 		scenarioF  = flag.String("scenario", "", "with -federation: run the named declarative scenario file instead of a sweep (\"all\" = every committed scenarios/*.yaml)")
 		chaosSeed  = flag.Int64("chaos-seed", 0, "with -federation -fed-chaos or -scenario: base chaos seed, replicate r draws seed+r (0 = derived/authored seed)")
@@ -149,7 +154,7 @@ func main() {
 	// fedOnly lists the flags that only mean something to the federation
 	// sweep; both directions of the ignored-flag warnings derive from it.
 	fedOnly := map[string]bool{"fed-trace": true, "fed-fairshare": true, "fed-placers": true,
-		"fed-coordinator": true, "fed-chaos": true, "fed-bench": true,
+		"fed-coordinator": true, "fed-chaos": true, "fed-hierarchy": true, "fed-bench": true,
 		"scenario": true, "chaos-seed": true, "chaos-replicates": true,
 		"topology":   true,
 		"cloud-warm": true, "cloud-always-warm": true, "cloud-price-invocation": true,
@@ -191,14 +196,14 @@ func main() {
 		tracePath := ""
 		scenarioPath := *scenarioF
 		modes := 0
-		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace, *fedCoord, *fedChaos, *fedBench, scenarioPath != ""} {
+		for _, m := range []bool{*fedTrace, *fedFair, *fedPlace, *fedCoord, *fedChaos, *fedHier, *fedBench, scenarioPath != ""} {
 			if m {
 				modes++
 			}
 		}
 		switch {
 		case modes > 1:
-			fail(fmt.Errorf("-fed-trace, -fed-fairshare, -fed-placers, -fed-coordinator, -fed-chaos, -fed-bench and -scenario are mutually exclusive"))
+			fail(fmt.Errorf("-fed-trace, -fed-fairshare, -fed-placers, -fed-coordinator, -fed-chaos, -fed-hierarchy, -fed-bench and -scenario are mutually exclusive"))
 		case *fedTrace:
 			id = "federation-trace"
 			tracePath = *trace
@@ -210,6 +215,8 @@ func main() {
 			id = "federation-coordinator"
 		case *fedChaos:
 			id = "federation-chaos"
+		case *fedHier:
+			id = "federation-hierarchy"
 		case *fedBench:
 			id = "federation-bench"
 		case scenarioPath != "":

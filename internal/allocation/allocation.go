@@ -71,6 +71,15 @@ type Grant struct {
 	// exceeds DesiredCPU when the spread pass pre-provisions this site for
 	// another site's displaced demand.
 	GrantedCPU int64
+	// DeservedCPU is the function-at-site's demand-independent quota under
+	// a hierarchical federation: its weight share of the site's share of
+	// the metro's share (and so on up the tree) of total edge capacity.
+	// Zero for flat federations.
+	DeservedCPU int64
+	// BorrowedCPU is max(0, GrantedCPU − DeservedCPU) under a hierarchical
+	// federation — the revocable over-quota portion cross-site reclaim may
+	// preempt. Zero for flat federations.
+	BorrowedCPU int64
 }
 
 // Result is one global allocation epoch's outcome.
@@ -88,6 +97,12 @@ type Result struct {
 	// allocations each site would have computed locally from the same
 	// demands — how much capacity the global allocator actually moved.
 	DriftCPU int64
+	// ReclaimedCPU totals the capacity moved by cross-site reclaim this
+	// epoch; Reclaims lists the individual transfers in the deterministic
+	// order they were applied. Both are empty for flat federations and for
+	// hierarchies with reclaim disabled.
+	ReclaimedCPU int64
+	Reclaims     []Reclaim
 }
 
 // SiteGrants returns the granted CPU per function for one site.

@@ -1,6 +1,7 @@
 package allocation
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,18 @@ type Allocator struct {
 	perFnDesired map[string]int64
 	perFnGranted map[string]int64
 	nameSet      map[string]bool
+
+	// Hierarchical mode (SetHierarchy): the capacity tree, the per-leaf
+	// deserved quotas cascaded from it, and the reclaim scratch. All nil /
+	// unused for flat federations, whose code path is unchanged.
+	hier      *Hierarchy
+	reclaim   bool
+	deserved  map[string]int64
+	sitePos   map[string]int
+	allIdx    []int
+	metros    []metroScope
+	victims   []reclaimVictim
+	hierSites map[string]Level
 }
 
 // siteCache holds everything one site's epoch work that can survive to the
@@ -119,6 +132,38 @@ func NewAllocator() *Allocator {
 		nameSet:      make(map[string]bool),
 		root:         &fairshare.Node{ID: "::federation"},
 	}
+}
+
+// SetHierarchy switches the allocator between the flat federation (nil)
+// and a region→metro→site capacity tree: pass 1 mounts site subtrees
+// under the hierarchy's groups, pass 3 water-fills displaced entitlement
+// level by level (metro first, then outward), and — with reclaim enabled —
+// a final pass preempts borrowed capacity at metro peers for functions
+// starved of their deserved quota. The previous result is invalidated so
+// the steady-state fast path can never serve an answer computed under a
+// different tree; per-site clamp and local-allocation caches stay valid
+// (they depend only on each site's own demand and want vector).
+func (a *Allocator) SetHierarchy(h *Hierarchy, reclaim bool) error {
+	if h != nil {
+		if err := h.Validate(); err != nil {
+			return err
+		}
+	}
+	a.hier = h
+	a.reclaim = reclaim && h != nil
+	a.havePrev = false
+	if h != nil {
+		a.hierSites = h.Levels()
+		if a.deserved == nil {
+			a.deserved = make(map[string]int64)
+		}
+		if a.sitePos == nil {
+			a.sitePos = make(map[string]int)
+		}
+	} else {
+		a.hierSites = nil
+	}
+	return nil
 }
 
 func siteEqual(a *SiteDemand, b *SiteDemand) bool {
@@ -302,6 +347,13 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	if err := validate(sites); err != nil {
 		return a.fail(err)
 	}
+	if a.hier != nil {
+		for i := range sites {
+			if _, ok := a.hierSites[sites[i].Site]; !ok {
+				return a.fail(fmt.Errorf("allocation: site %q not assigned to any hierarchy group", sites[i].Site))
+			}
+		}
+	}
 	if capped != a.capped {
 		// The water-filling refinement changes every division; nothing
 		// cached under the other flag may be reused.
@@ -346,6 +398,8 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	a.res.TotalDesiredCPU = 0
 	a.res.StrandedCPU = 0
 	a.res.DriftCPU = 0
+	a.res.ReclaimedCPU = 0
+	a.res.Reclaims = a.res.Reclaims[:0]
 	for i := range sites {
 		a.res.TotalCapacityCPU += sites[i].CapacityCPU
 		for _, fd := range sites[i].Functions {
@@ -356,13 +410,27 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	// Pass 1 — entitlement: capped water-filling over the federation's
 	// total edge capacity, site → user → function. Clean sites mount their
 	// cached subtree unchanged; only the root's child list is rebuilt (the
-	// site order may have changed even when no site's content did).
+	// site order may have changed even when no site's content did). In
+	// hierarchical mode the site trees mount under their group vertices
+	// instead — a depth-1 hierarchy (one leaf group over every site)
+	// collapses to the identical flat tree, which is what keeps it
+	// bit-for-bit with the flat allocator.
 	a.root.Children = a.root.Children[:0]
-	for i := range sites {
-		a.root.Children = append(a.root.Children, a.caches[sites[i].Site].tree)
+	if a.hier == nil {
+		for i := range sites {
+			a.root.Children = append(a.root.Children, a.caches[sites[i].Site].tree)
+		}
+	} else {
+		a.mountHierChildren(a.hier.Root, a.root)
 	}
 	if err := fairshare.AllocateTreeInto(a.root, a.res.TotalCapacityCPU, capped, a.entitled); err != nil {
 		return a.fail(err)
+	}
+	if a.hier != nil {
+		// Deserved quotas: demand-independent guaranteed shares cascaded
+		// down the same tree the entitlement pass just divided.
+		clear(a.deserved)
+		a.cascadeDeserved(a.root, a.res.TotalCapacityCPU)
 	}
 
 	// Pass 2 — feasibility: clamp each site's enforceable grants to its
@@ -404,12 +472,44 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	// Pass 3 — spreading: entitlement displaced by the physical clamp is
 	// granted at other sites that serve the same function and have idle
 	// capacity, arbitrated by a second weight-proportional water-filling.
-	// Identical round structure and orderings to the one-shot allocator:
-	// overflow heaviest-first (ties by name), hosts most-spare-first (ties
-	// by site order).
+	// Flat federations spread over every site at once; hierarchies spread
+	// level by level, metro scopes first (spreadHier), and reclaim — when
+	// enabled — then preempts borrowed capacity for starved deserved
+	// quotas before stranded/drift accounting sees the grants.
+	if a.hier == nil {
+		a.allIdx = a.allIdx[:0]
+		for i := range sites {
+			a.allIdx = append(a.allIdx, i)
+		}
+		if err := a.spread(sites, a.allIdx, capped); err != nil {
+			return a.fail(err)
+		}
+	} else {
+		clear(a.sitePos)
+		for i := range sites {
+			a.sitePos[sites[i].Site] = i
+		}
+		a.metros = a.metros[:0]
+		if _, err := a.spreadHier(sites, a.hier.Root, capped); err != nil {
+			return a.fail(err)
+		}
+		if a.reclaim {
+			a.runReclaim(sites)
+		}
+	}
+
+	return a.finish(sites, capped)
+}
+
+// spread runs one scope of the pass-3 overflow water-filling over the
+// sites at positions idxs (ascending): identical round structure and
+// orderings to the one-shot allocator — overflow heaviest-first (ties by
+// name), hosts most-spare-first (ties by site order). The flat federation
+// is a single scope over every site.
+func (a *Allocator) spread(sites []SiteDemand, idxs []int, capped bool) error {
 	a.overflow = a.overflow[:0]
 	clear(a.overflowOf)
-	for i := range sites {
+	for _, i := range idxs {
 		c := a.caches[sites[i].Site]
 		for j, fd := range c.prev.Functions {
 			if miss := c.want[j] - c.grants[j]; miss > 0 {
@@ -442,7 +542,7 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	hostsOf := func(fn string) ([]host, int64) {
 		a.hosts = a.hosts[:0]
 		var total int64
-		for i := range sites {
+		for _, i := range idxs {
 			if a.spare[sites[i].Site] <= 0 {
 				continue
 			}
@@ -490,7 +590,7 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 		}
 		allocs, err := fairshare.AdjustCapped(a.demands, pool)
 		if err != nil {
-			return a.fail(err)
+			return err
 		}
 		progress := false
 		for _, al := range allocs {
@@ -532,7 +632,14 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 			break
 		}
 	}
+	return nil
+}
 
+// finish computes the stranded/drift accounting and materializes the
+// result rows from the per-site working grants — common to flat and
+// hierarchical epochs, always over the final (post-spread, post-reclaim)
+// grants.
+func (a *Allocator) finish(sites []SiteDemand, capped bool) (*Result, error) {
 	// Stranded capacity: idle CPU that even spreading could not pair with
 	// the demand still unmet federation-wide.
 	var totalSpare, totalUnmet int64
@@ -579,13 +686,23 @@ func (a *Allocator) Allocate(sites []SiteDemand, capped bool) (*Result, error) {
 	for i := range sites {
 		c := a.caches[sites[i].Site]
 		for j, fd := range c.prev.Functions {
-			a.res.Grants = append(a.res.Grants, Grant{
+			g := Grant{
 				Site:        sites[i].Site,
 				Function:    fd.Name,
 				DesiredCPU:  fd.DesiredCPU,
 				EntitledCPU: a.entitled[c.leafIDs[j]],
 				GrantedCPU:  c.grants[j],
-			})
+			}
+			if a.hier != nil {
+				// Deserved is the demand-independent quota; anything
+				// granted above it is borrowed (and revocable by reclaim).
+				// Flat federations leave both fields zero.
+				g.DeservedCPU = a.deserved[c.leafIDs[j]]
+				if b := g.GrantedCPU - g.DeservedCPU; b > 0 {
+					g.BorrowedCPU = b
+				}
+			}
+			a.res.Grants = append(a.res.Grants, g)
 		}
 	}
 

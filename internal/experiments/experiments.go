@@ -37,6 +37,11 @@ type Table struct {
 	// across seeded failure replicates) the fed-bench baseline carries.
 	// Omitted when nil.
 	Chaos *Table `json:",omitempty"`
+	// Hierarchy, when present, is the nested hierarchy-sweep sub-table
+	// (flat vs quota-tree borrowing vs borrowing + cross-site reclaim on
+	// the starved/borrower/donor metro) the fed-bench baseline carries.
+	// Omitted when nil.
+	Hierarchy *Table `json:",omitempty"`
 }
 
 // AddRow appends a formatted row.

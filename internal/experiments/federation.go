@@ -235,6 +235,10 @@ type baselineTable struct {
 	// Chaos is the nested chaos-sweep sub-table (nil in baselines
 	// predating it; MissingChaosScenarios treats that as fully stale).
 	Chaos *baselineTable
+	// Hierarchy is the nested hierarchy-sweep sub-table (nil in baselines
+	// predating it; MissingHierarchyScenarios treats that as fully
+	// stale).
+	Hierarchy *baselineTable
 }
 
 func parseBaseline(baselineJSON []byte) (*baselineTable, error) {

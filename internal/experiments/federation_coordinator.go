@@ -200,8 +200,8 @@ func FederationCoordinator(opt Options) (*Table, error) {
 // scenario, engine row, and control-plane row the CI guards
 // (MissingBaselineColumns, MissingBaselinePolicies,
 // MissingCoordinatorScenarios, MissingEngineScenarios,
-// MissingControlScenarios, MissingChaosScenarios) check for. Regenerate
-// with
+// MissingControlScenarios, MissingChaosScenarios,
+// MissingHierarchyScenarios) check for. Regenerate with
 //
 //	go run ./cmd/lass-sim -federation -fed-bench -quick -seed 1 -json BENCH_federation.json
 func FederationBench(opt Options) (*Table, error) {
@@ -225,13 +225,18 @@ func FederationBench(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	hierTab, err := FederationHierarchy(opt)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
-		ID:      "federation-bench",
-		Title:   "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
-		Header:  append([]string(nil), federationSweepHeader...),
-		Engine:  eng,
-		Control: ctrl,
-		Chaos:   chaosTab,
+		ID:        "federation-bench",
+		Title:     "Bench baseline: offload-policy sweep + coordinator election/failover sweep",
+		Header:    append([]string(nil), federationSweepHeader...),
+		Engine:    eng,
+		Control:   ctrl,
+		Chaos:     chaosTab,
+		Hierarchy: hierTab,
 	}
 	for _, src := range []*Table{fed, coord} {
 		t.Rows = append(t.Rows, src.Rows...)

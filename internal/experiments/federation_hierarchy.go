@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"lass/internal/allocation"
+	"lass/internal/cluster"
+	"lass/internal/controller"
+	"lass/internal/core"
+	"lass/internal/federation"
+	"lass/internal/functions"
+	"lass/internal/workload"
+)
+
+// hierarchyScenarios are the allocation-mode rows the hierarchy sweep
+// reports, in order — what MissingHierarchyScenarios keys on. "flat" is
+// the site-level water-fill (no quota tree), "borrow" adds the
+// region→metro→site hierarchy with over-quota borrowing, and "reclaim"
+// additionally lets deserved-starved functions preempt borrowed capacity
+// back.
+var hierarchyScenarios = []string{"flat", "borrow", "reclaim"}
+
+// hierarchySweepHeader is the hierarchy sub-table's shape; the mode
+// column is what MissingHierarchyScenarios keys on, and the reclaimed /
+// preempted columns are the landed-commit counters (millicores, both
+// sides of each commit).
+var hierarchySweepHeader = []string{"mode", "site", "arrivals", "local", "to-peer",
+	"to-cloud", "rejected", "reclaimed-mC", "preempted-mC",
+	"p95 resp ms", "violation rate"}
+
+// hierarchySites builds the canonical reclaim fleet, one metro of three
+// sites. The tiny site's squeezenet desire dwarfs its one-container
+// cluster while its deserved share (a third of the metro) also exceeds
+// that capacity, so the function is deserved-starved every epoch. The
+// near-idle geofence site desires almost nothing, so the entitlement
+// water-fill donates its unclaimed deserved share to the big peer — whose
+// capacity binaryalert then saturates far above its own deserved quota
+// (borrowed, revocable), and whose lack of spare leaves the spread pass
+// nothing to compensate the starved function with (the geofence site does
+// not serve squeezenet). Only reclaim recovers the quota, by preempting
+// the big peer's borrowed binaryalert grant in favour of squeezenet.
+func hierarchySites(opt Options) ([]core.Config, error) {
+	site := func(cl cluster.Config, seed uint64, fns ...core.FunctionConfig) core.Config {
+		return core.Config{
+			Cluster:    cl,
+			Controller: controller.Config{MinContainers: 1},
+			Seed:       seed,
+			Functions:  fns,
+		}
+	}
+	fn := func(name string, rate float64) (core.FunctionConfig, error) {
+		spec, err := functions.ByName(name)
+		if err != nil {
+			return core.FunctionConfig{}, err
+		}
+		wl, err := workload.NewStatic(rate)
+		if err != nil {
+			return core.FunctionConfig{}, err
+		}
+		return core.FunctionConfig{Spec: spec, Workload: wl, Prewarm: 1}, nil
+	}
+	sqHot, err := fn("squeezenet", 120)
+	if err != nil {
+		return nil, err
+	}
+	sqIdle, err := fn("squeezenet", 0.2)
+	if err != nil {
+		return nil, err
+	}
+	baHot, err := fn("binaryalert", 500)
+	if err != nil {
+		return nil, err
+	}
+	geoIdle, err := fn("geofence", 1)
+	if err != nil {
+		return nil, err
+	}
+	tiny := cluster.Config{Nodes: 1, CPUPerNode: 1000, MemPerNode: 512, Policy: cluster.WorstFit}
+	return []core.Config{
+		site(tiny, opt.Seed^0x41e0, sqHot),
+		site(cluster.PaperCluster(), opt.Seed^0x41e1, sqIdle, baHot),
+		site(cluster.PaperCluster(), opt.Seed^0x41e2, geoIdle),
+	}, nil
+}
+
+// hierarchyMetro places the three default-named sites into a single leaf
+// metro under the root — the quota tree both hierarchical modes share.
+func hierarchyMetro() *allocation.Hierarchy {
+	return &allocation.Hierarchy{Root: &allocation.Group{ID: "m0",
+		Sites: []string{"edge-0", "edge-1", "edge-2"}}}
+}
+
+// honestRate is a site's violation rate with unresolved ingress counted
+// against it — the same accounting the aggregate sweep rows use.
+func honestRate(s *federation.SiteResult) float64 {
+	return violationRate(s.Violations(), s.SLO.Total()+s.Unresolved)
+}
+
+// FederationHierarchy sweeps the global allocator's quota structure on
+// the canonical starved/borrower/donor metro: flat site-level water-fill,
+// the region→metro→site hierarchy with over-quota borrowing, and the
+// hierarchy with cross-site reclaim of borrowed capacity. All three modes
+// run the identical fleet, workload, topology, and metro-affine placement
+// — only the allocator's quota tree and reclaim switch differ — so the
+// sweep isolates what the hierarchy itself buys. The experiment
+// hard-asserts the tentpole claims: only the reclaim mode lands commits
+// (borrow-only and flat book zero on both counters), and reclaim strictly
+// raises the starved site's SLO attainment over borrow-only, which
+// strands the starved function's deserved share inside its peer's
+// borrowed grant.
+func FederationHierarchy(opt Options) (*Table, error) {
+	t := &Table{
+		ID:     "federation-hierarchy",
+		Title:  "Hierarchical federation: flat vs quota-tree borrowing vs borrowing + cross-site reclaim",
+		Header: append([]string(nil), hierarchySweepHeader...),
+	}
+	end := opt.dur(2*time.Minute, time.Minute)
+	// Each mode is an independent cell; rows are emitted in mode order
+	// after all cells complete, so the table is byte-identical at any
+	// -sweep-workers count.
+	results := make([]*federation.Result, len(hierarchyScenarios))
+	err := forEachCell(len(results), opt.SweepWorkers, func(i int) error {
+		mode := hierarchyScenarios[i]
+		sites, err := hierarchySites(opt)
+		if err != nil {
+			return err
+		}
+		placer, err := federation.ParsePlacer("metro-affine")
+		if err != nil {
+			return err
+		}
+		o := opt
+		o.Fed.GlobalFairShare = true
+		o.Fed.Admission = true
+		if o.Fed.CloudMaxConcurrency == 0 {
+			o.Fed.CloudMaxConcurrency = 2
+		}
+		fcfg, err := federationConfig(o, sites, placer)
+		if err != nil {
+			return err
+		}
+		if mode != "flat" {
+			fcfg.Hierarchy = hierarchyMetro()
+			fcfg.Reclaim = mode == "reclaim"
+		}
+		fed, err := federation.New(fcfg)
+		if err != nil {
+			return err
+		}
+		res, err := fed.Run(end)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range hierarchyScenarios {
+		res := results[i]
+		hier := mode != "flat"
+		if res.Hierarchical != hier {
+			return nil, fmt.Errorf("experiments: %s run reports Hierarchical=%v", mode, res.Hierarchical)
+		}
+		if mode == "reclaim" {
+			if res.Reclaimed == 0 || res.Reclaimed != res.Preempted {
+				return nil, fmt.Errorf("experiments: reclaim mode landed no balanced commits: Reclaimed=%d Preempted=%d",
+					res.Reclaimed, res.Preempted)
+			}
+		} else if res.Reclaimed != 0 || res.Preempted != 0 {
+			return nil, fmt.Errorf("experiments: %s mode booked reclaim commits: Reclaimed=%d Preempted=%d",
+				mode, res.Reclaimed, res.Preempted)
+		}
+		var arrivals, local, toPeer, toCloud, rejected, violated, total uint64
+		for _, s := range res.Sites {
+			var sa uint64
+			for _, fr := range s.Core.Functions {
+				sa += fr.Arrivals
+			}
+			arrivals += sa
+			local += s.ServedLocal
+			toPeer += s.OffloadedPeer
+			toCloud += s.OffloadedCloud
+			rejected += s.Rejected
+			violated += s.Violations()
+			total += s.SLO.Total() + s.Unresolved
+			t.AddRow(mode, s.Name,
+				fmt.Sprintf("%d", sa),
+				fmt.Sprintf("%d", s.ServedLocal),
+				fmt.Sprintf("%d", s.OffloadedPeer),
+				fmt.Sprintf("%d", s.OffloadedCloud),
+				fmt.Sprintf("%d", s.Rejected),
+				fmt.Sprintf("%d", s.Reclaimed),
+				fmt.Sprintf("%d", s.Preempted),
+				msF(s.Responses.Quantile(0.95)),
+				fmt.Sprintf("%.4f", honestRate(&s)))
+		}
+		t.AddRow(mode, "all",
+			fmt.Sprintf("%d", arrivals),
+			fmt.Sprintf("%d", local),
+			fmt.Sprintf("%d", toPeer),
+			fmt.Sprintf("%d", toCloud),
+			fmt.Sprintf("%d", rejected),
+			fmt.Sprintf("%d", res.Reclaimed),
+			fmt.Sprintf("%d", res.Preempted),
+			"",
+			fmt.Sprintf("%.4f", violationRate(violated, total)))
+	}
+	borrow, reclaim := results[1], results[2]
+	starvedBorrow := honestRate(&borrow.Sites[0])
+	starvedReclaim := honestRate(&reclaim.Sites[0])
+	if starvedReclaim >= starvedBorrow {
+		return nil, fmt.Errorf("experiments: reclaim did not raise the starved site's SLO attainment over borrow-only: violation rate %.4f (reclaim) vs %.4f (borrow)",
+			starvedReclaim, starvedBorrow)
+	}
+	t.AddNote("fleet: edge-0 starved (1000mC, squeezenet 120/s), edge-1 borrower (12000mC, binaryalert 500/s + idle squeezenet), edge-2 donor (12000mC, near-idle geofence); one metro, equal weights")
+	t.AddNote("all modes share fleet, workload, topology, and metro-affine placement; only the allocator's quota tree and reclaim switch differ")
+	t.AddNote("asserted: commits land only under reclaim (both counters balanced, zero elsewhere), and reclaim's starved-site violation rate %.4f < borrow-only's %.4f",
+		starvedReclaim, starvedBorrow)
+	return t, nil
+}
+
+// MissingHierarchyScenarios compares a committed sweep-baseline JSON
+// against the mode rows the federation-hierarchy sweep produces and
+// returns the ones the baseline's nested Hierarchy table lacks — the
+// staleness signal that BENCH_federation.json was regenerated without the
+// hierarchy sub-table. Baselines predating the Hierarchy field report
+// every mode missing.
+func MissingHierarchyScenarios(baselineJSON []byte) ([]string, error) {
+	baseline, err := parseBaseline(baselineJSON)
+	if err != nil {
+		return nil, err
+	}
+	if baseline.Hierarchy == nil {
+		return append([]string(nil), hierarchyScenarios...), nil
+	}
+	col := columnIndex(baseline.Hierarchy.Header)
+	if _, ok := col["mode"]; !ok {
+		return append([]string(nil), hierarchyScenarios...), nil
+	}
+	have := map[string]bool{}
+	for _, row := range baseline.Hierarchy.Rows {
+		if len(row) > col["mode"] {
+			have[row[col["mode"]]] = true
+		}
+	}
+	var missing []string
+	for _, s := range hierarchyScenarios {
+		if !have[s] {
+			missing = append(missing, s)
+		}
+	}
+	return missing, nil
+}

@@ -26,6 +26,7 @@ var Registry = map[string]Runner{
 	"federation-placers":     FederationPlacers,
 	"federation-coordinator": FederationCoordinator,
 	"federation-chaos":       FederationChaos,
+	"federation-hierarchy":   FederationHierarchy,
 	"federation-bench":       FederationBench,
 	"scenario":               ScenarioRun,
 	"engine-bench":           EngineBench,

@@ -223,19 +223,49 @@ func AllocateTree(root *Node, capacity int64, capped bool) (map[string]int64, er
 // federation's incremental allocator re-clamps site subtrees every epoch —
 // reuse one map instead of allocating a fresh one per call. The division
 // itself is identical to AllocateTree's; neither variant mutates the tree.
+//
+// The whole tree is validated up front: duplicate node IDs (internal or
+// leaf, across any branches), negative weights, and negative leaf desires
+// at any depth fail before any capacity is divided, leaving out untouched.
 func AllocateTreeInto(root *Node, capacity int64, capped bool, out map[string]int64) error {
 	if root == nil {
 		return fmt.Errorf("fairshare: nil tree")
+	}
+	if err := validateTree(root, make(map[string]bool)); err != nil {
+		return err
 	}
 	clear(out)
 	return allocateNode(root, capacity, capped, out)
 }
 
+// validateTree rejects structural errors anywhere in the tree. Weight 0 is
+// allowed here — roots conventionally carry no weight — and zero-weight
+// children are still rejected by Adjust's validate when their sibling
+// group is divided, so only strictly negative weights fail at this layer.
+func validateTree(n *Node, seen map[string]bool) error {
+	if n.Weight < 0 {
+		return fmt.Errorf("fairshare: node %q has negative weight %v", n.ID, n.Weight)
+	}
+	if seen[n.ID] {
+		return fmt.Errorf("fairshare: duplicate node id %q", n.ID)
+	}
+	seen[n.ID] = true
+	if n.Leaf() {
+		if n.Desired < 0 {
+			return fmt.Errorf("fairshare: leaf %q has negative desired capacity %d", n.ID, n.Desired)
+		}
+		return nil
+	}
+	for _, c := range n.Children {
+		if err := validateTree(c, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func allocateNode(n *Node, capacity int64, capped bool, out map[string]int64) error {
 	if n.Leaf() {
-		if _, dup := out[n.ID]; dup {
-			return fmt.Errorf("fairshare: duplicate leaf id %q", n.ID)
-		}
 		grant := capacity
 		if n.Desired < grant {
 			grant = n.Desired

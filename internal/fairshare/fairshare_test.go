@@ -360,6 +360,68 @@ func TestAllocateTreeErrors(t *testing.T) {
 	}
 }
 
+// TestAllocateTreeDeepValidation pins the upfront whole-tree validation:
+// duplicate node IDs, negative weights, and negative leaf desires are
+// rejected at any depth — including cases the per-level Adjust validation
+// used to miss (internal-node duplicates across branches, a negative
+// desire on a single-leaf root, a negative weight below the first level).
+func TestAllocateTreeDeepValidation(t *testing.T) {
+	internalDup := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "m", Weight: 1, Children: []*Node{{ID: "a", Weight: 1, Desired: 1}}},
+		{ID: "n", Weight: 1, Children: []*Node{
+			{ID: "m", Weight: 1, Children: []*Node{{ID: "b", Weight: 1, Desired: 1}}},
+		}},
+	}}
+	if _, err := AllocateTree(internalDup, 100, true); err == nil {
+		t.Error("want error for duplicate internal node ids across branches")
+	}
+	internalLeafDup := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "m", Weight: 1, Children: []*Node{{ID: "a", Weight: 1, Desired: 1}}},
+		{ID: "b", Weight: 1, Children: []*Node{{ID: "m", Weight: 1, Desired: 1}}},
+	}}
+	if _, err := AllocateTree(internalLeafDup, 100, true); err == nil {
+		t.Error("want error for a leaf reusing an internal node's id")
+	}
+	negLeaf := &Node{ID: "solo", Weight: 1, Desired: -5}
+	if _, err := AllocateTree(negLeaf, 100, true); err == nil {
+		t.Error("want error for negative desire on a single-leaf root")
+	}
+	negDeep := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "m", Weight: 1, Children: []*Node{
+			{ID: "u", Weight: 2, Children: []*Node{{ID: "f", Weight: -1, Desired: 1}}},
+		}},
+	}}
+	if _, err := AllocateTree(negDeep, 100, true); err == nil {
+		t.Error("want error for negative weight three levels down")
+	}
+	// Errors surface before any division: the caller-owned map is left
+	// untouched on failure.
+	out := map[string]int64{"stale": 7}
+	if err := AllocateTreeInto(negDeep, 100, true, out); err == nil {
+		t.Error("want error from AllocateTreeInto")
+	} else if out["stale"] != 7 {
+		t.Error("failed validation must not clear the caller's map")
+	}
+	// Weight 0 stays legal on roots (the federation allocator mounts site
+	// trees under a weight-0 synthetic root); zero-weight members of a
+	// divided sibling group are still rejected by Adjust.
+	zeroRoot := &Node{ID: "::root", Children: []*Node{{ID: "x", Weight: 1, Desired: 3}}}
+	got, err := AllocateTree(zeroRoot, 100, true)
+	if err != nil {
+		t.Fatalf("weight-0 root must stay valid: %v", err)
+	}
+	if got["x"] != 3 {
+		t.Errorf("x = %d, want 3", got["x"])
+	}
+	zeroChild := &Node{ID: "r", Weight: 1, Children: []*Node{
+		{ID: "a", Weight: 0, Desired: 1},
+		{ID: "b", Weight: 1, Desired: 1},
+	}}
+	if _, err := AllocateTree(zeroChild, 100, true); err == nil {
+		t.Error("want error for zero-weight sibling (Adjust validation)")
+	}
+}
+
 func TestUnused(t *testing.T) {
 	allocs := []Allocation{{Adjusted: 300}, {Adjusted: 400}}
 	if u := Unused(allocs, 1000); u != 300 {

@@ -397,6 +397,29 @@ type Config struct {
 	// either way, only the coordinator's compute wall-clock changes — the
 	// simulation's timing model is unaffected.
 	AllocWorkers int
+	// Hierarchy, when set, arranges the sites into a region → metro → site
+	// capacity tree (allocation.Hierarchy). Under GlobalFairShare the
+	// allocator then cascades demand-independent deserved quotas down the
+	// tree and water-fills displaced demand level by level — same-metro
+	// first — instead of in one federation-wide pool; each grant reports
+	// its DeservedCPU and the revocable BorrowedCPU above it. The tree must
+	// cover every site name. Nil means a flat federation, bit-for-bit the
+	// historical allocator.
+	Hierarchy *allocation.Hierarchy
+	// Reclaim enables cross-site reclamation within each metro: when a
+	// function's deserved share is starved at its home site, the allocator
+	// preempts borrowed (over-quota) grants at a metro peer and re-grants
+	// that capacity to the starved function at the peer, before the home
+	// site would shed the load. Requires Hierarchy.
+	Reclaim bool
+	// ReclaimLatency is the engine-charged delay of a reclaim commit: each
+	// epoch's grants land in two steps, the pre-reclaim assignment on the
+	// normal return leg and the reclaimed transfers one ReclaimLatency
+	// later (preempting a borrowed container is not free). Default
+	// PeerRTT; negative means an explicit zero (instantaneous reclaim).
+	// When the latency reaches the grant lease the top-up would land
+	// already expired, so it is skipped and reclaim is inert.
+	ReclaimLatency time.Duration
 
 	// OffloadAwareAdmission couples §3.4 admission control to placement:
 	// a request that would be rejected at an overloaded origin is first
@@ -444,6 +467,9 @@ func (c *Config) fillDefaults() {
 	// Same sentinel convention as the cloud knobs: zero selects the
 	// default, negative means explicitly none (an unleased grant).
 	c.GrantLease = zeroDefault(c.GrantLease, 2*c.AllocEpoch)
+	// Reclaim commits travel one more coordinator→peer message, so the
+	// peer RTT is the honest default charge.
+	c.ReclaimLatency = zeroDefault(c.ReclaimLatency, c.PeerRTT)
 }
 
 // Site is one edge deployment inside the federation.
@@ -494,7 +520,18 @@ type Site struct {
 	PartitionedEpochs uint64
 	GrantsLost        uint64
 
+	// Reclaimed totals the CPU millicores cross-site reclaim recovered for
+	// this site's starved functions (served at metro peers on capacity
+	// preempted from over-quota borrowers); Preempted totals the borrowed
+	// millicores revoked *at* this site to fund peers' deserved shares.
+	// Counted when the reclaim commit actually lands, so both are zero for
+	// flat federations, with reclaim off, or when every commit was lost to
+	// a coordinator outage.
+	Reclaimed uint64
+	Preempted uint64
+
 	peers       []*Site // other sites, ascending RTT, ties by index
+	borrowed    int64   // over-quota millicores in the last landed grant set
 	observeDone func(*dispatch.Request)
 }
 
@@ -530,6 +567,12 @@ type Federation struct {
 	// faults is the run's failure oracle (Config.Faults unioned with the
 	// legacy CoordinatorOutages process); nil means fault-free.
 	faults FaultView
+	// metroOf / regionOf map site index → hierarchy level (Config.
+	// Hierarchy.Levels()); nil for flat federations. byName resolves the
+	// site names reclaim directives carry back to Site values.
+	metroOf  []int
+	regionOf []int
+	byName   map[string]*Site
 	// snapFree pools the demand-snapshot buffers allocEpoch uploads to the
 	// coordinator. A snapshot stays checked out while its gather leg is in
 	// flight — gathers can overlap the next epoch boundary on slow
@@ -654,6 +697,30 @@ func New(cfg Config) (*Federation, error) {
 		s.peers = f.peersByRTT(s)
 		for _, fc := range f.cfg.Sites[s.Index].Functions {
 			f.wire(s, s.Platform.Queues[fc.Spec.Name])
+		}
+	}
+	if cfg.Reclaim && cfg.Hierarchy == nil {
+		return nil, fmt.Errorf("federation: Reclaim requires a Hierarchy")
+	}
+	if cfg.Hierarchy != nil {
+		names := make([]string, len(f.Sites))
+		f.byName = make(map[string]*Site, len(f.Sites))
+		for i, s := range f.Sites {
+			names[i] = s.Name
+			f.byName[s.Name] = s
+		}
+		if err := cfg.Hierarchy.Covers(names); err != nil {
+			return nil, fmt.Errorf("federation: %w", err)
+		}
+		if err := f.alloc.SetHierarchy(cfg.Hierarchy, cfg.Reclaim); err != nil {
+			return nil, fmt.Errorf("federation: %w", err)
+		}
+		levels := cfg.Hierarchy.Levels()
+		f.metroOf = make([]int, len(f.Sites))
+		f.regionOf = make([]int, len(f.Sites))
+		for i, s := range f.Sites {
+			lv := levels[s.Name]
+			f.metroOf[i], f.regionOf[i] = lv.Metro, lv.Region
 		}
 	}
 	return f, nil
@@ -1191,13 +1258,63 @@ func (f *Federation) allocDeliver(snap *demandSnapshot, gather time.Duration) {
 		m[g.Function] = g.GrantedCPU
 	}
 	lease := f.cfg.GrantLease // negative = unleased (freeze on stale)
+	reclaimLag := f.cfg.ReclaimLatency
+	if reclaimLag < 0 {
+		reclaimLag = 0 // explicit-zero sentinel: instantaneous reclaim
+	}
+	// A reclaim top-up that would land with no lease left is pointless: the
+	// controller would expire it the same instant. Skip it and let the
+	// pre-reclaim assignment stand for the whole epoch (reclaim is inert at
+	// such extreme latencies, and the sweep tables make that visible).
+	skipReclaim := lease > 0 && reclaimLag >= lease
+	// bySite above is the allocator's *post-reclaim* assignment. Preempting
+	// a borrowed container is not free, so the grants land in two steps:
+	// the pre-reclaim assignment (directives reversed) rides the normal
+	// return leg, and the full post-reclaim set follows one ReclaimLatency
+	// later with the residue of the same lease — both steps share one
+	// absolute expiry deadline, so the base delivery's expiry event covers
+	// the renewed lease too.
+	var preBySite map[string]map[string]int64
+	var reclaimsAt map[string][]allocation.Reclaim
+	if len(res.Reclaims) > 0 && !skipReclaim {
+		reclaimsAt = make(map[string][]allocation.Reclaim, 4)
+		for _, d := range res.Reclaims {
+			reclaimsAt[d.Site] = append(reclaimsAt[d.Site], d)
+		}
+	}
+	if len(res.Reclaims) > 0 && reclaimLag > 0 {
+		preBySite = make(map[string]map[string]int64, 4)
+		for _, d := range res.Reclaims {
+			m := preBySite[d.Site]
+			if m == nil {
+				m = make(map[string]int64, len(bySite[d.Site]))
+				for fn, g := range bySite[d.Site] {
+					m[fn] = g
+				}
+				preBySite[d.Site] = m
+			}
+			m[d.From] += d.CPU
+			m[d.To] -= d.CPU
+		}
+	}
+	// Per-site borrowed totals (over-quota millicores) feed the placement
+	// layer's BorrowedCPU signal; only hierarchical runs produce any.
+	var borrowedBy map[string]int64
+	if f.metroOf != nil {
+		borrowedBy = make(map[string]int64, len(f.Sites))
+		for _, g := range res.Grants {
+			borrowedBy[g.Site] += g.BorrowedCPU
+		}
+	}
 	for _, i := range snap.idx {
 		s := f.Sites[i]
 		if !f.linkUp(f.coordinator, i, now) {
 			// The return leg went dark while the demand was in flight: the
 			// grant set is computed but never lands, so the site's previous
 			// lease keeps ticking toward expiry while its peers renew —
-			// leases expire asymmetrically under partial partitions.
+			// leases expire asymmetrically under partial partitions. The
+			// link is checked once per site per epoch, here: a reclaim
+			// top-up lost later never re-counts the same grant set.
 			s.GrantsLost++
 			continue
 		}
@@ -1207,14 +1324,21 @@ func (f *Federation) allocDeliver(snap *demandSnapshot, gather time.Duration) {
 			// grant set — nil would mean "return to local allocation".
 			grants = map[string]int64{}
 		}
+		base := grants
+		if m := preBySite[s.Name]; m != nil {
+			base = m
+		}
+		topUp := reclaimsAt[s.Name]
 		back := f.rtt(f.coordinator, i)
 		delay := gather + back
 		site, ctl := s, s.Platform.Controller
+		borrowed := borrowedBy[s.Name]
 		f.Engine.After(back, func() {
 			f.grantDelaySum += delay
 			f.grantDeliveries++
+			site.borrowed = borrowed
 			if lease > 0 {
-				ctl.SetCapacityGrantsLeased(grants, lease)
+				ctl.SetCapacityGrantsLeased(base, lease)
 				// The expiry event makes the fallback visible to the
 				// placement layer the instant the lease runs out; a renewal
 				// in the meantime pushes the controller's deadline past this
@@ -1225,9 +1349,47 @@ func (f *Federation) allocDeliver(snap *demandSnapshot, gather time.Duration) {
 					}
 				})
 			} else {
-				ctl.SetCapacityGrants(grants)
+				ctl.SetCapacityGrants(base)
 			}
+			if len(topUp) == 0 {
+				return
+			}
+			if reclaimLag == 0 {
+				// Instantaneous reclaim: base was already the post-reclaim
+				// set, only the counters remain.
+				f.applyReclaims(site, topUp)
+				return
+			}
+			f.Engine.After(reclaimLag, func() {
+				// The reclaim commit is one more coordinator message. A
+				// coordinator that went dark in the meantime never sends
+				// it: the pre-reclaim grants simply stand until their
+				// lease lapses into local enforcement — no second
+				// GrantsLost count for an epoch whose base delivery
+				// already landed.
+				if f.coordinatorDark(f.Engine.Now()) {
+					return
+				}
+				if lease > 0 {
+					ctl.SetCapacityGrantsLeased(grants, lease-reclaimLag)
+				} else {
+					ctl.SetCapacityGrants(grants)
+				}
+				f.applyReclaims(site, topUp)
+			})
 		})
+	}
+}
+
+// applyReclaims books a landed reclaim commit: the applying site hosted the
+// preempted borrower, each directive's home site is the starved function's
+// origin the capacity was recovered for.
+func (f *Federation) applyReclaims(site *Site, ds []allocation.Reclaim) {
+	for _, d := range ds {
+		site.Preempted += uint64(d.CPU)
+		if home := f.byName[d.HomeSite]; home != nil {
+			home.Reclaimed += uint64(d.CPU)
+		}
 	}
 }
 
@@ -1266,6 +1428,12 @@ type SiteResult struct {
 	// landed because the return leg was dark.
 	PartitionedEpochs uint64
 	GrantsLost        uint64
+
+	// Reclaimed and Preempted mirror the Site cross-site reclaim counters:
+	// millicores recovered for this site's starved functions at metro
+	// peers, and borrowed millicores revoked at this site for peers.
+	Reclaimed uint64
+	Preempted uint64
 
 	// Unresolved counts ingress requests that never completed before the
 	// run ended — still queued, in service, in the network, or killed by
@@ -1337,6 +1505,14 @@ type Result struct {
 	// computed grant sets dropped on a dark return leg.
 	PartitionedEpochs uint64
 	GrantsLost        uint64
+	// Hierarchical reports whether the run used a region→metro→site quota
+	// tree (Config.Hierarchy); Reclaimed and Preempted aggregate the
+	// per-site cross-site reclaim counters (millicores). Over a whole run
+	// the two totals agree unless a reclaim commit was still in flight at
+	// the end — every landed commit books both sides at once.
+	Hierarchical bool
+	Reclaimed    uint64
+	Preempted    uint64
 }
 
 // Run drives all sites on the shared engine for the given simulated
@@ -1364,7 +1540,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 		CloudServed:     f.cloudServed,
 		GlobalFairShare: f.cfg.GlobalFairShare, AllocEpochs: f.allocEpochs,
 		Coordinator: f.coordinator, Election: f.cfg.CoordinatorElection,
-		MissedAllocEpochs: f.missedAllocEpochs}
+		MissedAllocEpochs: f.missedAllocEpochs,
+		Hierarchical:      f.cfg.Hierarchy != nil}
 	if f.allocEpochs > 0 {
 		res.MeanStrandedCPU = f.strandedSum / float64(f.allocEpochs)
 		res.MeanAllocDriftCPU = f.driftSum / float64(f.allocEpochs)
@@ -1402,6 +1579,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 			GrantLeaseExpirations: s.GrantLeaseExpirations,
 			PartitionedEpochs:     s.PartitionedEpochs,
 			GrantsLost:            s.GrantsLost,
+			Reclaimed:             s.Reclaimed,
+			Preempted:             s.Preempted,
 			Unresolved:            unresolved,
 		})
 		res.CloudColdStarts += s.CloudColdStarts
@@ -1412,6 +1591,8 @@ func (f *Federation) Run(duration time.Duration) (*Result, error) {
 		res.GrantLeaseExpirations += s.GrantLeaseExpirations
 		res.PartitionedEpochs += s.PartitionedEpochs
 		res.GrantsLost += s.GrantsLost
+		res.Reclaimed += s.Reclaimed
+		res.Preempted += s.Preempted
 	}
 	return res, nil
 }

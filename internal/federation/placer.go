@@ -264,6 +264,47 @@ func (ctx *PlacementContext) Headroom(site int) int64 {
 	return ctx.f.Sites[site].Platform.Controller.Headroom()
 }
 
+// Metro returns the site's metro index under the federation's hierarchy
+// (Config.Hierarchy: leaf groups in depth-first order), or -1 when the
+// federation is flat or the site is out of range.
+func (ctx *PlacementContext) Metro(site int) int {
+	if ctx.f.metroOf == nil || site < 0 || site >= len(ctx.f.metroOf) {
+		return -1
+	}
+	return ctx.f.metroOf[site]
+}
+
+// Region returns the site's region index under the federation's hierarchy
+// (the root's immediate branches), or -1 when the federation is flat or
+// the site is out of range.
+func (ctx *PlacementContext) Region(site int) int {
+	if ctx.f.regionOf == nil || site < 0 || site >= len(ctx.f.regionOf) {
+		return -1
+	}
+	return ctx.f.regionOf[site]
+}
+
+// SameMetro reports whether two sites share a metro under the
+// federation's hierarchy — the scope within which over-quota borrowing is
+// water-filled first and cross-site reclaim operates. Always false for
+// flat federations.
+func (ctx *PlacementContext) SameMetro(i, j int) bool {
+	return ctx.Metro(i) >= 0 && ctx.Metro(i) == ctx.Metro(j)
+}
+
+// BorrowedCPU returns the site's over-quota millicores in its last landed
+// grant set — capacity granted above the hierarchy's deserved quota,
+// revocable by cross-site reclaim. A peer holding borrowed capacity is a
+// softer offload target than one inside its quota: its headroom can be
+// clawed back next epoch. Zero for flat federations and before the first
+// grant delivery.
+func (ctx *PlacementContext) BorrowedCPU(site int) int64 {
+	if site < 0 || site >= len(ctx.f.Sites) {
+		return 0
+	}
+	return ctx.f.Sites[site].borrowed
+}
+
 // QueueLength returns the site's waiting (not in service) request count
 // for this function.
 func (ctx *PlacementContext) QueueLength(site int) int {
@@ -422,6 +463,7 @@ func init() {
 	mustRegister(modelDrivenPlacer{})
 	mustRegister(grantAwarePlacer{})
 	mustRegister(costBoundedPlacer{})
+	mustRegister(metroAffinePlacer{})
 }
 
 // --- built-in placers ---
@@ -640,4 +682,65 @@ func (costBoundedPlacer) Place(ctx *PlacementContext) Decision {
 		}
 	}
 	return pick
+}
+
+// metroAffinePlacer is the hierarchy-aware refinement of model-driven:
+// offloads prefer same-metro peers with positive capacity headroom
+// whenever one is predicted to meet the SLO, even when a farther peer
+// predicts marginally faster. Intra-metro RTTs are the cheapest in a
+// hierarchical topology, and keeping displaced work inside the metro
+// keeps it inside the scope where the allocator water-fills borrowing
+// first and reclaim can repatriate capacity. Under a flat federation (no
+// Config.Hierarchy) every Metro() is -1 and the policy degrades to
+// exactly model-driven.
+type metroAffinePlacer struct{}
+
+func (metroAffinePlacer) Name() string { return "metro-affine" }
+
+func (metroAffinePlacer) Place(ctx *PlacementContext) Decision {
+	origin := ctx.Origin()
+	if ctx.Metro(origin) < 0 {
+		return placePredictive(ctx, ctx.PredictResponse)
+	}
+	deadline := ctx.ResponseSLO().Seconds()
+	local := math.Inf(1)
+	if !ctx.Sheddable() {
+		if local = ctx.PredictResponse(origin); local <= deadline {
+			return Local()
+		}
+	}
+	// One scan over the deterministic candidate order tracks both the
+	// globally best prediction and the best same-metro peer that has
+	// borrowable headroom.
+	best, bestResp := -1, math.Inf(1)
+	metro, metroResp := -1, math.Inf(1)
+	for _, p := range ctx.PeersByRTT() {
+		resp := ctx.PredictResponse(p)
+		if resp < bestResp {
+			best, bestResp = p, resp
+		}
+		if ctx.SameMetro(origin, p) && ctx.Headroom(p) > 0 && resp < metroResp {
+			metro, metroResp = p, resp
+		}
+	}
+	if metro >= 0 && metroResp <= deadline && metroResp < local {
+		return ToSite(metro)
+	}
+	// No qualifying metro peer: fall through to the model-driven endgame.
+	if cloud := ctx.PredictCloud(); cloud < bestResp && cloud < local {
+		if !ctx.Sheddable() {
+			return ToCloud()
+		}
+		if cloud <= deadline && ctx.CloudAdmits() {
+			return ToCloud()
+		}
+		return Reject()
+	}
+	if bestResp <= deadline || (!ctx.Sheddable() && bestResp < local) {
+		return ToSite(best)
+	}
+	if ctx.Sheddable() {
+		return Reject()
+	}
+	return Local()
 }

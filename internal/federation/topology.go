@@ -3,7 +3,14 @@ package federation
 import (
 	"fmt"
 	"time"
+
+	"lass/internal/allocation"
 )
+
+// Level re-exports allocation.Level — the (metro, region) coordinates
+// Hierarchy.Levels() assigns each site — so topology construction does not
+// force callers through the allocation package's name.
+type Level = allocation.Level
 
 // Topology is an explicit inter-site one-way latency matrix: entry (i, j)
 // is the one-way network delay from edge site i to edge site j. It replaces
@@ -95,6 +102,62 @@ func Star(n int, spokeRTT time.Duration) (*Topology, error) {
 				m[i][j] = spokeRTT
 			default:
 				m[i][j] = 2 * spokeRTT
+			}
+		}
+	}
+	return &Topology{rtt: m}, nil
+}
+
+// RTTClasses are the three per-level one-way latencies a Hierarchical
+// topology is built from: sites in the same metro are IntraMetro apart,
+// sites in different metros of the same region IntraRegion, and sites in
+// different regions CrossRegion. The zero value selects the defaults
+// (2ms / 10ms / 40ms one way — access-network, metro-backbone, and
+// inter-region WAN figures); a negative entry is an explicit zero.
+type RTTClasses struct {
+	IntraMetro  time.Duration
+	IntraRegion time.Duration
+	CrossRegion time.Duration
+}
+
+// Hierarchical derives a latency matrix from a hierarchy's levels: each
+// ordered site pair pays the class of the lowest tree level it shares.
+// sites lists the federation's site names in site-index order (every name
+// must appear in the hierarchy), and levels comes from Hierarchy.Levels().
+// The matrix is symmetric by construction — class asymmetry would mean
+// the hierarchy itself is inconsistent, and Levels() derives both metro
+// and region from one tree, so a shared metro always implies a shared
+// region.
+func Hierarchical(sites []string, levels map[string]Level, classes RTTClasses) (*Topology, error) {
+	classes.IntraMetro = zeroDefault(classes.IntraMetro, 2*time.Millisecond)
+	classes.IntraRegion = zeroDefault(classes.IntraRegion, 10*time.Millisecond)
+	classes.CrossRegion = zeroDefault(classes.CrossRegion, 40*time.Millisecond)
+	classes.IntraMetro = max(classes.IntraMetro, 0)
+	classes.IntraRegion = max(classes.IntraRegion, 0)
+	classes.CrossRegion = max(classes.CrossRegion, 0)
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("federation: hierarchical topology with no sites")
+	}
+	lv := make([]Level, len(sites))
+	for i, name := range sites {
+		l, ok := levels[name]
+		if !ok {
+			return nil, fmt.Errorf("federation: hierarchical topology: site %q not in hierarchy", name)
+		}
+		lv[i] = l
+	}
+	m := make([][]time.Duration, len(sites))
+	for i := range m {
+		m[i] = make([]time.Duration, len(sites))
+		for j := range m[i] {
+			switch {
+			case i == j:
+			case lv[i].Metro == lv[j].Metro:
+				m[i][j] = classes.IntraMetro
+			case lv[i].Region == lv[j].Region:
+				m[i][j] = classes.IntraRegion
+			default:
+				m[i][j] = classes.CrossRegion
 			}
 		}
 	}

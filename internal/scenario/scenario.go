@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"lass/internal/allocation"
 	"lass/internal/chaos"
 	"lass/internal/cluster"
 	"lass/internal/controller"
@@ -80,6 +81,9 @@ type Assertions struct {
 	RequireLeaseExpirations bool
 	// RequirePartitionedEpochs requires at least one partial partition.
 	RequirePartitionedEpochs bool
+	// MinReclaimedCPU requires cross-site reclaim to have moved at least
+	// this many millicores over the run (hierarchical scenarios only).
+	MinReclaimedCPU uint64
 }
 
 // Chaos is the failure declaration: a seed for the stochastic processes
@@ -87,6 +91,56 @@ type Assertions struct {
 type Chaos struct {
 	Seed   uint64
 	Faults []chaos.Fault
+}
+
+// HierarchyGroup is one node of the scenario's capacity tree: an internal
+// group carrying nested groups, or a metro carrying site names. Exactly
+// one of Groups/Sites must be set (validated through the allocation
+// layer's tree checks).
+type HierarchyGroup struct {
+	Name   string
+	Weight float64 // 0 = default weight 1
+	Groups []HierarchyGroup
+	Sites  []string
+}
+
+// RTTClasses optionally derives the scenario's topology from its
+// hierarchy: one per-level one-way latency class (zero entries select the
+// federation defaults). Mutually exclusive with an explicit `topology:`
+// block.
+type RTTClasses struct {
+	IntraMetro  time.Duration
+	IntraRegion time.Duration
+	CrossRegion time.Duration
+}
+
+// Hierarchy is the scenario's region → metro → site quota tree plus the
+// reclaim knobs riding on it (federation.Config.Hierarchy / Reclaim /
+// ReclaimLatency).
+type Hierarchy struct {
+	Reclaim        bool
+	ReclaimLatency time.Duration
+	RTTClasses     *RTTClasses
+	Groups         []HierarchyGroup
+}
+
+// tree lowers the declarative groups to the allocation layer's form under
+// an implicit root.
+func (h *Hierarchy) tree() *allocation.Hierarchy {
+	root := &allocation.Group{ID: "::root"}
+	for _, g := range h.Groups {
+		root.Children = append(root.Children, g.tree())
+	}
+	return &allocation.Hierarchy{Root: root}
+}
+
+func (g HierarchyGroup) tree() *allocation.Group {
+	out := &allocation.Group{ID: g.Name, Weight: g.Weight,
+		Sites: append([]string(nil), g.Sites...)}
+	for _, c := range g.Groups {
+		out.Children = append(out.Children, c.tree())
+	}
+	return out
 }
 
 // Scenario is one parsed, validated scenario file.
@@ -106,9 +160,24 @@ type Scenario struct {
 	grantLeaseSet   bool
 	Coordinator     Coordinator
 	Topology        *Topology
+	Hierarchy       *Hierarchy
 	Fleet           []Site
 	Chaos           Chaos
 	Assertions      Assertions
+}
+
+// siteNames returns each fleet site's effective name — the federation's
+// edge-i default when the scenario leaves a name unset. These are the
+// names a hierarchy block must cover.
+func (sc *Scenario) siteNames() []string {
+	out := make([]string, len(sc.Fleet))
+	for i, s := range sc.Fleet {
+		out[i] = s.Name
+		if out[i] == "" {
+			out[i] = fmt.Sprintf("edge-%d", i)
+		}
+	}
+	return out
 }
 
 // Load reads and validates one scenario file.
@@ -275,7 +344,7 @@ func (d *decoder) scenario(root *node) *Scenario {
 	if !d.object(root, "scenario",
 		"name", "description", "seed", "duration", "response-slo", "placer",
 		"global-fairshare", "admission", "alloc-epoch", "grant-lease",
-		"coordinator", "topology", "fleet", "chaos", "assertions") {
+		"coordinator", "topology", "hierarchy", "fleet", "chaos", "assertions") {
 		return sc
 	}
 	sc.Name = d.str(root, "name", "scenario")
@@ -312,6 +381,9 @@ func (d *decoder) scenario(root *node) *Scenario {
 	}
 	if c := root.child("topology"); c != nil {
 		sc.Topology = d.topology(c)
+	}
+	if c := root.child("hierarchy"); c != nil {
+		sc.Hierarchy = d.hierarchy(c)
 	}
 	for _, item := range d.list(root, "fleet", "scenario") {
 		sc.Fleet = append(sc.Fleet, d.site(item))
@@ -370,6 +442,60 @@ func (d *decoder) topology(n *node) *Topology {
 		t.Matrix = append(t.Matrix, r)
 	}
 	return t
+}
+
+func (d *decoder) hierarchy(n *node) *Hierarchy {
+	h := &Hierarchy{}
+	if !d.object(n, "hierarchy", "reclaim", "reclaim-latency", "rtt-classes", "groups") {
+		return h
+	}
+	if n.child("reclaim") != nil {
+		h.Reclaim = d.boolval(n, "reclaim", "hierarchy")
+	}
+	if n.child("reclaim-latency") != nil {
+		h.ReclaimLatency = d.durval(n, "reclaim-latency", "hierarchy")
+	}
+	if c := n.child("rtt-classes"); c != nil {
+		rc := &RTTClasses{}
+		if d.object(c, "rtt-classes", "intra-metro", "intra-region", "cross-region") {
+			if c.child("intra-metro") != nil {
+				rc.IntraMetro = d.durval(c, "intra-metro", "rtt-classes")
+			}
+			if c.child("intra-region") != nil {
+				rc.IntraRegion = d.durval(c, "intra-region", "rtt-classes")
+			}
+			if c.child("cross-region") != nil {
+				rc.CrossRegion = d.durval(c, "cross-region", "rtt-classes")
+			}
+		}
+		h.RTTClasses = rc
+	}
+	for _, item := range d.list(n, "groups", "hierarchy") {
+		h.Groups = append(h.Groups, d.group(item))
+	}
+	return h
+}
+
+func (d *decoder) group(n *node) HierarchyGroup {
+	var g HierarchyGroup
+	if !d.object(n, "hierarchy group", "name", "weight", "groups", "sites") {
+		return g
+	}
+	g.Name = d.str(n, "name", "hierarchy group")
+	if n.child("weight") != nil {
+		g.Weight = d.floatval(n, "weight", "hierarchy group")
+	}
+	for _, item := range d.list(n, "groups", "hierarchy group") {
+		g.Groups = append(g.Groups, d.group(item))
+	}
+	for _, m := range d.list(n, "sites", "hierarchy group") {
+		if m.kind != scalarNode {
+			d.fail(m.line, "hierarchy group sites must be site names")
+			break
+		}
+		g.Sites = append(g.Sites, m.scalar)
+	}
+	return g
 }
 
 func (d *decoder) site(n *node) Site {
@@ -499,7 +625,8 @@ func (d *decoder) assertions(n *node) Assertions {
 	var a Assertions
 	if !d.object(n, "assertions",
 		"max-violation-rate", "min-alloc-epochs", "min-missed-epochs",
-		"require-lease-expirations", "require-partitioned-epochs") {
+		"require-lease-expirations", "require-partitioned-epochs",
+		"min-reclaimed-cpu") {
 		return a
 	}
 	if n.child("max-violation-rate") != nil {
@@ -516,6 +643,9 @@ func (d *decoder) assertions(n *node) Assertions {
 	}
 	if n.child("require-partitioned-epochs") != nil {
 		a.RequirePartitionedEpochs = d.boolval(n, "require-partitioned-epochs", "assertions")
+	}
+	if n.child("min-reclaimed-cpu") != nil {
+		a.MinReclaimedCPU = d.uintval(n, "min-reclaimed-cpu", "assertions")
 	}
 	return a
 }
@@ -534,7 +664,12 @@ func (sc *Scenario) validate() error {
 	if len(sc.Fleet) == 0 {
 		return fmt.Errorf("scenario %q: fleet is empty", sc.Name)
 	}
+	seenSite := make(map[string]bool, len(sc.Fleet))
 	for i, s := range sc.Fleet {
+		if s.Name != "" && seenSite[s.Name] {
+			return fmt.Errorf("scenario %q: duplicate fleet site name %q", sc.Name, s.Name)
+		}
+		seenSite[s.Name] = true
 		if s.Nodes <= 0 || s.CPUPerNode <= 0 || s.MemPerNode <= 0 {
 			return fmt.Errorf("scenario %q: fleet site %d needs positive nodes/cpu-per-node/mem-per-node", sc.Name, i)
 		}
@@ -583,6 +718,51 @@ func (sc *Scenario) validate() error {
 	if sc.Placer != "" {
 		if _, err := federation.PlacerByName(sc.Placer); err != nil {
 			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+	}
+	if sc.Hierarchy != nil {
+		if len(sc.Hierarchy.Groups) == 0 {
+			return fmt.Errorf("scenario %q: hierarchy declares no groups", sc.Name)
+		}
+		if sc.Hierarchy.Reclaim && !sc.GlobalFairShare {
+			return fmt.Errorf("scenario %q: hierarchy reclaim requires global-fairshare: true", sc.Name)
+		}
+		if sc.Hierarchy.RTTClasses != nil && sc.Topology != nil {
+			return fmt.Errorf("scenario %q: hierarchy rtt-classes and an explicit topology are mutually exclusive", sc.Name)
+		}
+		tree := sc.Hierarchy.tree()
+		if err := tree.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		names := sc.siteNames()
+		if err := tree.Covers(names); err != nil {
+			return fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		// Covers allows superset trees (federation configs may share one
+		// hierarchy across fleets); a scenario is self-contained, so a
+		// group naming a site the fleet does not deploy is a typo.
+		fleet := make(map[string]bool, len(names))
+		for _, n := range names {
+			fleet[n] = true
+		}
+		var stray func(g HierarchyGroup) error
+		stray = func(g HierarchyGroup) error {
+			for _, s := range g.Sites {
+				if !fleet[s] {
+					return fmt.Errorf("scenario %q: hierarchy group %q names unknown site %q", sc.Name, g.Name, s)
+				}
+			}
+			for _, c := range g.Groups {
+				if err := stray(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, g := range sc.Hierarchy.Groups {
+			if err := stray(g); err != nil {
+				return err
+			}
 		}
 	}
 	// Dry-build the chaos engine so fault errors surface at load time.
@@ -668,6 +848,23 @@ func (sc *Scenario) Build(chaosSeed int64) (federation.Config, error) {
 			cfg.Topology = topo
 		}
 	}
+	if h := sc.Hierarchy; h != nil {
+		tree := h.tree()
+		cfg.Hierarchy = tree
+		cfg.Reclaim = h.Reclaim
+		cfg.ReclaimLatency = h.ReclaimLatency
+		if rc := h.RTTClasses; rc != nil {
+			topo, err := federation.Hierarchical(sc.siteNames(), tree.Levels(), federation.RTTClasses{
+				IntraMetro:  rc.IntraMetro,
+				IntraRegion: rc.IntraRegion,
+				CrossRegion: rc.CrossRegion,
+			})
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Topology = topo
+		}
+	}
 	if len(sc.Chaos.Faults) > 0 {
 		seed := sc.Chaos.Seed
 		if chaosSeed >= 0 {
@@ -709,6 +906,9 @@ func (sc *Scenario) Check(res *federation.Result) error {
 	}
 	if a.RequirePartitionedEpochs && res.PartitionedEpochs == 0 {
 		return fmt.Errorf("scenario %q: no partitioned epochs", sc.Name)
+	}
+	if res.Reclaimed < a.MinReclaimedCPU {
+		return fmt.Errorf("scenario %q: %d millicores reclaimed, want at least %d", sc.Name, res.Reclaimed, a.MinReclaimedCPU)
 	}
 	return nil
 }

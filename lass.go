@@ -428,6 +428,46 @@ func GlobalAllocate(sites []GlobalSiteDemand) (*GlobalAllocation, error) {
 	return allocation.Allocate(sites, true)
 }
 
+// QuotaHierarchy is the federation's region → metro → site capacity tree
+// (arbitrary depth): interior groups carry weights, leaves list site
+// names, and each level's deserved quota cascades down by weight share.
+// Assign it to FederationConfig.Hierarchy (with optional
+// FederationConfig.Reclaim) or run it directly through
+// GlobalAllocateHierarchical. See the README's "Hierarchical federations"
+// section.
+type QuotaHierarchy = allocation.Hierarchy
+
+// QuotaGroup is one node of a QuotaHierarchy: a named, weighted group
+// holding either child groups or leaf site names.
+type QuotaGroup = allocation.Group
+
+// ReclaimDirective is one landed cross-site reclaim commit: CPU moved
+// from an over-quota (borrowed) function grant to a deserved-starved
+// peer's function at the same site.
+type ReclaimDirective = allocation.Reclaim
+
+// HierarchyRTTClasses are the per-level one-way latencies a hierarchical
+// topology derives from the quota tree (intra-metro / intra-region /
+// cross-region; zero selects 2ms / 10ms / 40ms).
+type HierarchyRTTClasses = federation.RTTClasses
+
+// HierarchicalTopology derives the inter-site latency matrix from a quota
+// hierarchy: each ordered site pair pays the class of the lowest tree
+// level it shares.
+func HierarchicalTopology(sites []string, h *QuotaHierarchy, classes HierarchyRTTClasses) (*FederationTopology, error) {
+	return federation.Hierarchical(sites, h.Levels(), classes)
+}
+
+// GlobalAllocateHierarchical runs one hierarchical federation-wide
+// fair-share epoch: the deserved-quota cascade down the tree, capped
+// water-filling with over-quota borrowing, and — when reclaim is set —
+// cross-site reclamation of borrowed capacity for deserved-starved
+// functions (Result.Reclaims). A depth-1 hierarchy reproduces
+// GlobalAllocate bit for bit.
+func GlobalAllocateHierarchical(h *QuotaHierarchy, sites []GlobalSiteDemand, reclaim bool) (*GlobalAllocation, error) {
+	return allocation.AllocateHierarchical(h, sites, true, reclaim)
+}
+
 // ControllerDemand is one function's demand estimate as a site controller
 // reports it to an external allocator (Controller.Demands).
 type ControllerDemand = controller.FunctionDemand

@@ -309,6 +309,15 @@ func TestFederationBaselineColumns(t *testing.T) {
 	for _, s := range chaos {
 		t.Errorf("BENCH_federation.json baseline missing chaos-sweep scenario %q — regenerate it with -fed-bench", s)
 	}
+	// And the nested hierarchy sub-table: the quota-structure sweep's
+	// flat / borrow / reclaim mode rows must have survived regeneration.
+	hier, err := experiments.MissingHierarchyScenarios(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range hier {
+		t.Errorf("BENCH_federation.json baseline missing hierarchy-sweep mode %q — regenerate it with -fed-bench", s)
+	}
 }
 
 // slowPeerPlacer is the README's example custom policy: offload overload
